@@ -1,0 +1,512 @@
+package dynplace
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation. Run it with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches print the corresponding series/rows once; expensive
+// experiment sweeps are computed once and shared between the benches
+// that report different views of them (e.g. Figures 3, 4 and 5 all come
+// from the Experiment Two sweep). Ablation benches quantify the design
+// choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+	"dynplace/internal/experiments"
+	"dynplace/internal/scheduler"
+	"dynplace/internal/trace"
+)
+
+// ---- Table 1 and Figure 1: the worked example ----
+
+func BenchmarkTable1WorkedExample(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table1Text() + "\n" + experiments.WorkedExampleText()
+	}
+	printOnce(b, out)
+}
+
+// ---- Table 2 and Figure 2: Experiment One ----
+
+var exp1Cache = newCache(func() (*experiments.Experiment1Result, error) {
+	return experiments.RunExperiment1(experiments.DefaultExperiment1Options())
+})
+
+func BenchmarkTable2ExperimentOneProperties(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table2Text()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFigure2ExperimentOne(b *testing.B) {
+	var res *experiments.Experiment1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp1Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.Figure2Text(res, 24))
+	b.ReportMetric(float64(res.Changes), "placement-changes")
+	b.ReportMetric(100*res.OnTimeRate, "ontime-%")
+}
+
+// ---- Figures 3, 4, 5: Experiment Two ----
+
+var exp2Cache = newCache(func() ([]*experiments.Experiment2Cell, error) {
+	return experiments.RunExperiment2(experiments.DefaultExperiment2Options())
+})
+
+func BenchmarkFigure3DeadlineRates(b *testing.B) {
+	var cells []*experiments.Experiment2Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = exp2Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.Figure3Table(cells))
+	for _, c := range cells {
+		if c.Interarrival == 50 {
+			b.ReportMetric(100*c.OnTimeRate, "ontime50s-"+c.Policy+"-%")
+		}
+	}
+}
+
+func BenchmarkFigure4PlacementChanges(b *testing.B) {
+	var cells []*experiments.Experiment2Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = exp2Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.Figure4Table(cells))
+	for _, c := range cells {
+		if c.Interarrival == 50 {
+			b.ReportMetric(float64(c.Changes), "changes50s-"+c.Policy)
+		}
+	}
+}
+
+func BenchmarkFigure5DistanceDistributions(b *testing.B) {
+	var cells []*experiments.Experiment2Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = exp2Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.Figure5Table(cells, 200)+"\n"+experiments.Figure5Table(cells, 50))
+}
+
+// ---- Figures 6 and 7: Experiment Three ----
+
+var exp3Cache = newCache(func() ([]*experiments.Experiment3Result, error) {
+	opts := experiments.DefaultExperiment3Options()
+	var out []*experiments.Experiment3Result
+	for _, config := range []experiments.Experiment3Config{
+		experiments.ConfigDynamic,
+		experiments.ConfigStatic9,
+		experiments.ConfigStatic6,
+	} {
+		res, err := experiments.RunExperiment3(opts, config)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+})
+
+func BenchmarkFigure6Heterogeneous(b *testing.B) {
+	var results []*experiments.Experiment3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = exp3Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := ""
+	for _, res := range results {
+		out += experiments.Figure6Text(res, 16) + "\n"
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFigure7Allocations(b *testing.B) {
+	var results []*experiments.Experiment3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = exp3Cache.get()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := map[experiments.Experiment3Config]string{
+		experiments.ConfigDynamic: "dynamic",
+		experiments.ConfigStatic9: "static9",
+		experiments.ConfigStatic6: "static6",
+	}
+	out := ""
+	for _, res := range results {
+		out += experiments.Figure7Text(res, 16) + "\n"
+		b.ReportMetric(100*res.OnTimeRate, "ontime-"+names[res.Config]+"-pct")
+	}
+	printOnce(b, out)
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationHypotheticalGridVsExact times the paper's sampled-
+// grid prediction against exact bisection and reports the utility
+// deviation between them.
+func BenchmarkAblationHypotheticalGridVsExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := make([]batch.State, 120)
+	for i := range jobs {
+		work := 1e6 + rng.Float64()*6e7
+		jobs[i] = batch.State{
+			Spec: batch.SingleStage(fmt.Sprintf("j%d", i), work,
+				1560+rng.Float64()*2340, 4320, 0, 20000+rng.Float64()*50000),
+			Done: rng.Float64() * work * 0.8,
+		}
+	}
+	h, err := batch.NewHypothetical(10000, jobs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	omegaG := 0.6 * h.MaxAggregateDemand()
+
+	var maxDev float64
+	grid := h.Predict(omegaG)
+	exact := h.PredictExact(omegaG)
+	for i := range grid {
+		if d := abs(grid[i].Utility - exact[i].Utility); d > maxDev {
+			maxDev = d
+		}
+	}
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Predict(omegaG)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.PredictExact(omegaG)
+		}
+	})
+	b.ReportMetric(maxDev, "max-utility-deviation")
+}
+
+// BenchmarkAblationGridResolution sweeps the sampling-grid size R and
+// reports the prediction error against exact bisection.
+func BenchmarkAblationGridResolution(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	jobs := make([]batch.State, 80)
+	for i := range jobs {
+		work := 1e6 + rng.Float64()*4e7
+		jobs[i] = batch.State{
+			Spec: batch.SingleStage(fmt.Sprintf("j%d", i), work,
+				1560+rng.Float64()*2340, 4320, 0, 15000+rng.Float64()*60000),
+			Done: rng.Float64() * work * 0.5,
+		}
+	}
+	out := "Ablation — hypothetical grid resolution (error vs exact bisection)\n"
+	for _, r := range []int{4, 8, 12, 24, 48} {
+		levels := batch.UniformLevels(r, -8)
+		h, err := batch.NewHypothetical(5000, jobs, levels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, frac := range []float64{0.2, 0.5, 0.8} {
+			omegaG := frac * h.MaxAggregateDemand()
+			grid := h.Predict(omegaG)
+			exact := h.PredictExact(omegaG)
+			for i := range grid {
+				if d := abs(grid[i].Utility - exact[i].Utility); d > worst {
+					worst = d
+				}
+			}
+		}
+		out += fmt.Sprintf("  R=%2d  max |u_grid − u_exact| = %.5f\n", r, worst)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = out
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkAblationPlacementCosts reruns an Experiment Two point with
+// the virtualization cost model enabled (the paper excludes costs there)
+// to show the effect on goal satisfaction and churn.
+func BenchmarkAblationPlacementCosts(b *testing.B) {
+	opts := experiments.DefaultExperiment2Options()
+	opts.Jobs = 300
+	out := "Ablation — placement-action costs (APC, 100 s inter-arrival, 300 jobs)\n"
+	for i := 0; i < b.N; i++ {
+		out = "Ablation — placement-action costs (APC, 100 s inter-arrival, 300 jobs)\n"
+		free, err := experiments.RunExperiment2Cell(opts,
+			&scheduler.APC{Costs: cluster.FreeCostModel()}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		costed, err := experiments.RunExperiment2Cell(opts,
+			&scheduler.APC{Costs: cluster.DefaultCostModel()}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out += fmt.Sprintf("  costs excluded (paper): on-time %.1f%%  changes %d\n",
+			100*free.OnTimeRate, free.Changes)
+		out += fmt.Sprintf("  costs modeled:          on-time %.1f%%  changes %d\n",
+			100*costed.OnTimeRate, costed.Changes)
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkAblationComparisonResolution sweeps the optimizer's utility
+// comparison resolution ε: finer resolutions chase smaller gains and
+// churn more.
+func BenchmarkAblationComparisonResolution(b *testing.B) {
+	opts := experiments.DefaultExperiment2Options()
+	opts.Jobs = 300
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = "Ablation — utility comparison resolution ε (APC, 100 s inter-arrival)\n"
+		for _, eps := range []float64{0.005, 0.02, 0.1} {
+			cell, err := experiments.RunExperiment2Cell(opts,
+				&scheduler.APC{Costs: cluster.FreeCostModel(), Epsilon: eps}, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += fmt.Sprintf("  ε=%.3f  on-time %.1f%%  changes %d\n",
+				eps, 100*cell.OnTimeRate, cell.Changes)
+		}
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkAblationMaxMinVsAnnealing compares the paper's lexicographic
+// max-min objective with the aggregate-utility simulated-annealing
+// baseline (the approach of Wang et al., ICAC'07, that Section 2 argues
+// against): same evaluation machinery, different objective. The
+// interesting outputs are the worst application's utility (fairness /
+// starvation) and the aggregate achieved.
+func BenchmarkAblationMaxMinVsAnnealing(b *testing.B) {
+	// 8 nodes comfortably satisfy the web app (λ·c = 81,600 MHz); 30
+	// jobs compete for 24 memory slots, including a hopeless straggler
+	// whose goal is already unreachable.
+	cl, err := cluster.Uniform(8, 15600, 16384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkApps := func() []*core.Application {
+		apps := []*core.Application{{
+			Name: "web", Kind: core.KindWeb, Web: trace.Experiment3WebApp(),
+		}}
+		for i := 0; i < 30; i++ {
+			deadline := 40000.0
+			if i == 0 {
+				deadline = 2000 // hopeless: needs 4,400 s even flat out
+			}
+			spec := batch.SingleStage(fmt.Sprintf("job-%d", i),
+				68640000/4, 3900, 4320, 0, deadline)
+			apps = append(apps, &core.Application{
+				Name: spec.Name, Kind: core.KindBatch, Job: spec,
+			})
+		}
+		return apps
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		pMaxMin := &core.Problem{Cluster: cl, Now: 0, Cycle: 600,
+			Apps: mkApps(), Costs: cluster.FreeCostModel()}
+		resMaxMin, err := core.Optimize(pMaxMin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pAnneal := &core.Problem{Cluster: cl, Now: 0, Cycle: 600,
+			Apps: mkApps(), Costs: cluster.FreeCostModel()}
+		resAnneal, err := core.OptimizeAnnealing(pAnneal,
+			core.AnnealingOptions{Seed: 1, Iterations: 6000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := func(us []float64) float64 {
+			var s float64
+			for _, u := range us {
+				if u < -10 {
+					u = -10
+				}
+				s += u
+			}
+			return s
+		}
+		out = fmt.Sprintf(
+			"Ablation — objective: lexicographic max-min vs aggregate annealing\n"+
+				"  max-min:    worst %.3f  aggregate %.2f  hopeless placed: %v\n"+
+				"  aggregate:  worst %.3f  aggregate %.2f  hopeless placed: %v\n",
+			resMaxMin.Eval.Vector.Min(), sum(resMaxMin.Eval.Utilities),
+			resMaxMin.Placement.Placed(1),
+			resAnneal.Eval.Vector.Min(), sum(resAnneal.Eval.Utilities),
+			resAnneal.Placement.Placed(1))
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkOptimizerCycle times one full placement optimization at
+// Experiment One scale (25 nodes, 75 placed + 25 queued jobs). The paper
+// reports ≈1.5 s per cycle on 2008 hardware.
+func BenchmarkOptimizerCycle(b *testing.B) {
+	cl, err := cluster.Uniform(25, 15600, 16384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := make([]*core.Application, 100)
+	current := core.NewPlacement(len(apps))
+	for i := range apps {
+		spec := trace.Experiment1Job(fmt.Sprintf("j%d", i), 0)
+		apps[i] = &core.Application{
+			Name: spec.Name, Kind: core.KindBatch, Job: spec,
+			Done: float64(i%30) * 1e6, Started: i < 75,
+		}
+		if i < 75 {
+			current.Add(i, cluster.NodeID(i/3))
+		}
+	}
+	p := &core.Problem{
+		Cluster: cl, Now: 30000, Cycle: 600, Apps: apps, Current: current,
+		Costs: cluster.DefaultCostModel(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocationSolver times a single placement evaluation (the
+// optimizer's inner oracle).
+func BenchmarkAllocationSolver(b *testing.B) {
+	cl, err := cluster.Uniform(25, 15600, 16384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := make([]*core.Application, 76)
+	pl := core.NewPlacement(len(apps))
+	for i := 0; i < 75; i++ {
+		spec := trace.Experiment1Job(fmt.Sprintf("j%d", i), 0)
+		apps[i] = &core.Application{
+			Name: spec.Name, Kind: core.KindBatch, Job: spec,
+			Done: float64(i) * 5e5, Started: true,
+		}
+		pl.Add(i, cluster.NodeID(i/3))
+	}
+	apps[75] = &core.Application{
+		Name: "web", Kind: core.KindWeb, Web: trace.Experiment3WebApp(),
+	}
+	for n := 0; n < 25; n++ {
+		pl.Add(75, cluster.NodeID(n))
+	}
+	p := &core.Problem{
+		Cluster: cl, Now: 10000, Cycle: 600, Apps: apps, Current: pl,
+		Costs: cluster.DefaultCostModel(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := core.Evaluate(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ev.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkEndToEndPublicAPI times a small complete run through the
+// public API (the quickstart scenario).
+func BenchmarkEndToEndPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(
+			WithUniformCluster(4, 15600, 16384),
+			WithControlCycle(300),
+			WithDynamicPlacement(),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.AddWebApp(WebAppSpec{
+			Name: "web", ArrivalRate: 100, DemandPerRequest: 120,
+			BaseLatency: 0.04, GoalResponseTime: 0.25,
+			MaxPowerMHz: 30000, MemoryMB: 2000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			if err := sys.SubmitJob(JobSpec{
+				Name: fmt.Sprintf("job-%d", j), WorkMcycles: 3900 * 1200,
+				MaxSpeedMHz: 3900, MemoryMB: 4320,
+				Submit: float64(j) * 300, Deadline: 4 * 3600,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sys.RunUntilDrained(36000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- helpers ----
+
+type cache[T any] struct {
+	once sync.Once
+	fn   func() (T, error)
+	val  T
+	err  error
+}
+
+func newCache[T any](fn func() (T, error)) *cache[T] {
+	return &cache[T]{fn: fn}
+}
+
+func (c *cache[T]) get() (T, error) {
+	c.once.Do(func() { c.val, c.err = c.fn() })
+	return c.val, c.err
+}
+
+var printGuard sync.Map
+
+func printOnce(b *testing.B, out string) {
+	b.Helper()
+	if _, loaded := printGuard.LoadOrStore(b.Name(), true); !loaded {
+		fmt.Println("\n=== " + b.Name() + " ===")
+		fmt.Println(out)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

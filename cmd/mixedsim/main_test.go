@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExample(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-experiment", "example"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Scenario 1", "Scenario 2", "J3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperiment1Scaled(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, []string{"-experiment", "1", "-nodes", "4", "-jobs", "20", "-points", "6"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 2", "hypothetical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExperiment2Scaled(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, []string{"-experiment", "2", "-nodes", "3", "-jobs", "20",
+		"-interarrivals", "800,200"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5", "FCFS", "EDF", "APC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-experiment", "9"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run(&buf, []string{"-experiment", "2", "-interarrivals", "abc"}); err == nil {
+		t.Fatal("bad inter-arrival accepted")
+	}
+	if err := run(&buf, []string{"-bogusflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command tracegen generates reproducible job traces as JSON, suitable
+// for feeding experiments or external tooling.
+//
+// Usage:
+//
+//	tracegen -workload exp1 -jobs 800 -seed 1 > exp1.json
+//	tracegen -workload exp2 -jobs 800 -interarrival 100 > exp2.json
+//	tracegen -workload exp3 > exp3.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		workload     = fs.String("workload", "exp1", "workload family: exp1, exp2, exp3")
+		jobs         = fs.Int("jobs", 800, "number of jobs (exp1, exp2)")
+		interarrival = fs.Float64("interarrival", 260, "mean inter-arrival seconds (exp1, exp2)")
+		heavy        = fs.Int("heavy", 200, "heavy-phase jobs (exp3)")
+		light        = fs.Int("light", 40, "light-phase jobs (exp3)")
+		heavyInter   = fs.Float64("heavy-interarrival", 180, "heavy-phase inter-arrival (exp3)")
+		lightInter   = fs.Float64("light-interarrival", 600, "light-phase inter-arrival (exp3)")
+		seed         = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var specs []*batch.Spec
+	switch *workload {
+	case "exp1":
+		rng := *interarrival
+		if rng == 260 {
+			specs = trace.Experiment1Workload(*seed, *jobs)
+		} else {
+			// Custom inter-arrival: regenerate with the same job shape.
+			specs = trace.Experiment3Workload(*seed, *jobs, 0, rng, rng)
+		}
+	case "exp2":
+		specs = trace.Experiment2Workload(*seed, *jobs, *interarrival)
+	case "exp3":
+		specs = trace.Experiment3Workload(*seed, *heavy, *light, *heavyInter, *lightInter)
+	default:
+		return fmt.Errorf("unknown workload %q (exp1, exp2, exp3)", *workload)
+	}
+	return trace.WriteJSON(out, specs)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dynplace/internal/trace"
+)
+
+func TestGenerateExp1(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-workload", "exp1", "-jobs", "12"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	specs, err := trace.ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(specs) != 12 {
+		t.Fatalf("jobs = %d, want 12", len(specs))
+	}
+	if specs[0].Stages[0].WorkMcycles != 68640000 {
+		t.Fatalf("work = %v, want Table 2's 68640000", specs[0].Stages[0].WorkMcycles)
+	}
+}
+
+func TestGenerateExp2(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-workload", "exp2", "-jobs", "30", "-interarrival", "100"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	specs, err := trace.ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(specs) != 30 {
+		t.Fatalf("jobs = %d, want 30", len(specs))
+	}
+}
+
+func TestGenerateExp3(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-workload", "exp3", "-heavy", "10", "-light", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	specs, err := trace.ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(specs) != 15 {
+		t.Fatalf("jobs = %d, want 15", len(specs))
+	}
+}
+
+func TestRejectsUnknownWorkload(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, []string{"-workload", "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

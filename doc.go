@@ -1,0 +1,51 @@
+// Package dynplace is a library for integrated performance management of
+// heterogeneous workloads: transactional (web) applications with
+// response-time goals and long-running batch jobs with completion-time
+// goals, sharing one cluster.
+//
+// It reproduces the system described in Carrera, Steinder, Whalley,
+// Torres and Ayguadé, "Enabling resource sharing between transactional
+// and batch workloads using dynamic application placement" (Middleware
+// 2008): an application placement controller (APC) runs on a short
+// control cycle, models every workload's performance relative to its
+// goal with a relative performance function (RPF), and chooses which
+// application instances run on which nodes — and with how much CPU — so
+// that the ascending-sorted vector of relative performance values is
+// lexicographically maximized. The effect is fairness: when everything
+// fits, every workload exceeds its goal; when it cannot, violations are
+// equalized rather than dumped on whoever arrived last.
+//
+// Batch jobs are evaluated through the paper's hypothetical relative
+// performance function: a fluid model that, given the aggregate CPU
+// devoted to batch work, predicts the relative performance every job —
+// running or queued — will achieve, so trade-offs against transactional
+// workloads can be made at each cycle without computing full schedules.
+//
+// # Quick start
+//
+//	sys, err := dynplace.NewSystem(
+//		dynplace.WithUniformCluster(4, 15600, 16384),
+//		dynplace.WithControlCycle(600),
+//		dynplace.WithDynamicPlacement(),
+//	)
+//	if err != nil { ... }
+//	err = sys.AddWebApp(dynplace.WebAppSpec{
+//		Name: "storefront", ArrivalRate: 120, DemandPerRequest: 80,
+//		BaseLatency: 0.02, GoalResponseTime: 0.25, MemoryMB: 1800,
+//	})
+//	err = sys.SubmitJob(dynplace.JobSpec{
+//		Name: "nightly-report", WorkMcycles: 3.9e6, MaxSpeedMHz: 3900,
+//		MemoryMB: 4000, Submit: 0, Deadline: 4 * 3600,
+//	})
+//	err = sys.RunUntilDrained(24 * 3600)
+//	for _, r := range sys.JobResults() { ... }
+//
+// The simulation is deterministic: the same configuration and workload
+// produce the same trajectory.
+//
+// Scheduling policies: WithDynamicPlacement manages web and batch
+// workloads together on all nodes (the paper's technique).
+// WithPolicy("apc"|"edf"|"fcfs") schedules batch jobs only, optionally
+// next to a static web partition (WithStaticWebPartition) — the baseline
+// configurations the paper compares against.
+package dynplace

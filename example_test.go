@@ -1,0 +1,102 @@
+package dynplace_test
+
+import (
+	"fmt"
+
+	"dynplace"
+)
+
+// The basic flow: configure a cluster, register workloads, run the
+// simulation, inspect outcomes.
+func Example() {
+	sys, err := dynplace.NewSystem(
+		dynplace.WithUniformCluster(2, 15600, 16384),
+		dynplace.WithControlCycle(300),
+		dynplace.WithPolicy("apc"),
+		dynplace.WithFreePlacementActions(),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.SubmitJob(dynplace.JobSpec{
+		Name:        "analysis",
+		WorkMcycles: 3900 * 1800, // 30 min at full speed
+		MaxSpeedMHz: 3900,
+		MemoryMB:    4320,
+		Submit:      0,
+		Deadline:    2 * 3600,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.RunUntilDrained(86400); err != nil {
+		fmt.Println(err)
+		return
+	}
+	r := sys.JobResults()[0]
+	fmt.Printf("completed=%v metGoal=%v at %.0f s\n", r.Completed, r.MetGoal, r.CompletedAt)
+	// Output: completed=true metGoal=true at 1800 s
+}
+
+// Dynamic placement trades CPU between a web application and batch jobs
+// by equalizing their relative performance.
+func ExampleNewSystem_dynamicPlacement() {
+	sys, err := dynplace.NewSystem(
+		dynplace.WithUniformCluster(2, 15600, 16384),
+		dynplace.WithControlCycle(300),
+		dynplace.WithDynamicPlacement(),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.AddWebApp(dynplace.WebAppSpec{
+		Name: "api", ArrivalRate: 50, DemandPerRequest: 100,
+		BaseLatency: 0.02, GoalResponseTime: 0.2,
+		MaxPowerMHz: 12000, MemoryMB: 1500,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.Run(1200); err != nil {
+		fmt.Println(err)
+		return
+	}
+	pts := sys.WebUtilitySeries("api")
+	fmt.Printf("samples=%d first=%.3f\n", len(pts), pts[0].Value)
+	// Output: samples=5 first=0.829
+}
+
+// Jobs can declare placement constraints: this pair never shares a node.
+func ExampleJobSpec_antiCollocate() {
+	sys, err := dynplace.NewSystem(
+		dynplace.WithUniformCluster(2, 15600, 16384),
+		dynplace.WithControlCycle(300),
+		dynplace.WithPolicy("apc"),
+		dynplace.WithFreePlacementActions(),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = sys.SubmitJob(dynplace.JobSpec{
+		Name: "io-heavy", WorkMcycles: 3900 * 600, MaxSpeedMHz: 3900,
+		MemoryMB: 4320, Deadline: 7200,
+		AntiCollocate: []string{"latency-probe"},
+	})
+	_ = sys.SubmitJob(dynplace.JobSpec{
+		Name: "latency-probe", WorkMcycles: 3900 * 600, MaxSpeedMHz: 3900,
+		MemoryMB: 4320, Deadline: 7200,
+	})
+	if err := sys.RunUntilDrained(86400); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range sys.JobResults() {
+		fmt.Printf("%s met=%v\n", r.Name, r.MetGoal)
+	}
+	// Output:
+	// io-heavy met=true
+	// latency-probe met=true
+}

@@ -1,0 +1,92 @@
+// Financial services scenario — the paper's motivating mix. A stock
+// trading application serves interactive traffic all day, spiking at the
+// market open and close. Portfolio-analysis batch jobs are submitted at
+// the close and must finish before the next open. With static
+// partitioning the firm would need separate hardware for each workload;
+// dynamic placement moves CPU to the trading front-end during spikes and
+// hands the night to the analysts — on the same sixteen machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynplace"
+)
+
+const hour = 3600.0
+
+func main() {
+	sys, err := dynplace.NewSystem(
+		dynplace.WithUniformCluster(16, 15600, 16384),
+		dynplace.WithControlCycle(600),
+		dynplace.WithDynamicPlacement(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trading front-end: 100 ms goal, λ varying through the day.
+	// t=0 is 06:00; market opens 09:30 (t=3.5h), closes 16:00 (t=10h).
+	if err := sys.AddWebApp(dynplace.WebAppSpec{
+		Name:             "trading",
+		ArrivalRate:      40, // pre-open trickle
+		DemandPerRequest: 350,
+		BaseLatency:      0.025,
+		GoalResponseTime: 0.100,
+		MaxPowerMHz:      180000,
+		MemoryMB:         2000,
+		LoadSchedule: []dynplace.LoadPhase{
+			{Start: 3.5 * hour, ArrivalRate: 320}, // opening auction spike
+			{Start: 4.5 * hour, ArrivalRate: 180}, // steady session
+			{Start: 9.5 * hour, ArrivalRate: 330}, // closing spike
+			{Start: 10.5 * hour, ArrivalRate: 30}, // after hours
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Portfolio analyses land right after the close (t=10h) and must be
+	// ready before the next open (t=27.5h → 17.5 h window).
+	nextOpen := 27.5 * hour
+	for i := 0; i < 40; i++ {
+		submit := 10*hour + float64(i)*120
+		if err := sys.SubmitJob(dynplace.JobSpec{
+			Name:        fmt.Sprintf("portfolio-%02d", i),
+			WorkMcycles: 3900 * 4 * hour, // 4 h at full speed
+			MaxSpeedMHz: 3900,
+			MemoryMB:    4320,
+			Submit:      submit,
+			Deadline:    nextOpen,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := sys.Run(28 * hour); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Trading app through the day (relative performance and CPU)")
+	util := sys.WebUtilitySeries("trading")
+	alloc := sys.WebAllocationSeries("trading")
+	batch := sys.BatchAllocationSeries()
+	for i := 0; i < len(util); i += 6 {
+		var b float64
+		if i < len(batch) {
+			b = batch[i].Value
+		}
+		fmt.Printf("t=%5.1f h  trading u=%+.3f  trading %6.0f MHz  batch %6.0f MHz\n",
+			util[i].Time/hour, util[i].Value, alloc[i].Value, b)
+	}
+
+	met, total := 0, 0
+	for _, r := range sys.JobResults() {
+		total++
+		if r.MetGoal {
+			met++
+		}
+	}
+	fmt.Printf("\nportfolio jobs ready for the open: %d/%d, placement changes: %d\n",
+		met, total, sys.PlacementChanges())
+}

@@ -1,0 +1,75 @@
+// Quickstart: one web application and three batch jobs sharing a small
+// cluster under dynamic placement. Prints the placement controller's
+// allocation decisions and every job's outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynplace"
+)
+
+func main() {
+	// Four nodes: 4×3.9 GHz processors and 16 GB each.
+	sys, err := dynplace.NewSystem(
+		dynplace.WithUniformCluster(4, 15600, 16384),
+		dynplace.WithControlCycle(300),
+		dynplace.WithDynamicPlacement(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A storefront with a 250 ms response-time goal.
+	if err := sys.AddWebApp(dynplace.WebAppSpec{
+		Name:             "storefront",
+		ArrivalRate:      100,  // requests/s
+		DemandPerRequest: 120,  // megacycles per request
+		BaseLatency:      0.04, // seconds
+		GoalResponseTime: 0.25, // seconds
+		MaxPowerMHz:      30000,
+		MemoryMB:         2000,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three batch jobs with different deadlines.
+	jobs := []dynplace.JobSpec{
+		{Name: "etl-hourly", WorkMcycles: 3900 * 1200, MaxSpeedMHz: 3900,
+			MemoryMB: 4000, Submit: 0, Deadline: 3 * 3600},
+		{Name: "ml-training", WorkMcycles: 3900 * 5400, MaxSpeedMHz: 3900,
+			MemoryMB: 6000, Submit: 600, Deadline: 8 * 3600},
+		{Name: "nightly-report", WorkMcycles: 2000 * 1800, MaxSpeedMHz: 2000,
+			MemoryMB: 3000, Submit: 1200, Deadline: 4 * 3600},
+	}
+	for _, j := range jobs {
+		if err := sys.SubmitJob(j); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := sys.RunUntilDrained(24 * 3600); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Job outcomes")
+	for _, r := range sys.JobResults() {
+		status := "MISSED"
+		if r.MetGoal {
+			status = "met"
+		}
+		fmt.Printf("%-15s completed at %7.0f s  goal %s by %6.0f s  (utility %.2f, suspends %d)\n",
+			r.Name, r.CompletedAt, status, r.DistanceToGoal, r.Utility, r.Suspends)
+	}
+
+	fmt.Println("\n== Storefront over time")
+	util := sys.WebUtilitySeries("storefront")
+	alloc := sys.WebAllocationSeries("storefront")
+	for i := 0; i < len(util) && i < 8; i++ {
+		fmt.Printf("t=%6.0f s  relative performance %.3f  allocation %6.0f MHz\n",
+			util[i].Time, util[i].Value, alloc[i].Value)
+	}
+	fmt.Printf("\nplacement changes: %d, on-time rate: %.0f%%\n",
+		sys.PlacementChanges(), 100*sys.OnTimeRate())
+}

@@ -1,0 +1,261 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dynplace/internal/rpf"
+)
+
+// State pairs a job spec with its progress for hypothetical evaluation.
+type State struct {
+	Spec *Spec
+	// Done is α*: megacycles completed so far.
+	Done float64
+	// Delay postpones the job's earliest possible (re)start beyond the
+	// evaluation time: placement-action costs (boot, suspend+resume)
+	// that must elapse before the job can execute again.
+	Delay float64
+}
+
+// effectiveNow returns the earliest time the job can run.
+func (s State) effectiveNow(now float64) float64 {
+	if s.Delay > 0 {
+		return now + s.Delay
+	}
+	return now
+}
+
+// Prediction is the hypothetical outcome for one job under a given
+// aggregate allocation.
+type Prediction struct {
+	// Utility is the predicted relative performance at completion.
+	Utility float64
+	// SpeedMHz is the average speed the fluid model assigns the job.
+	SpeedMHz float64
+}
+
+// DefaultLevels returns the default sampling grid for the W and V
+// matrices: the paper's u₁ = −∞ (a zero-demand sentinel) followed by
+// levels up to u_R = 1. R is small, matching the paper.
+func DefaultLevels() []float64 {
+	return []float64{rpf.MinUtility, -8, -4, -2, -1, -0.5, -0.25, 0, 0.25, 0.5, 0.75, 1}
+}
+
+// UniformLevels returns a grid of r levels spanning [lo, 1] after the
+// −∞ sentinel. Used by the grid-resolution ablation.
+func UniformLevels(r int, lo float64) []float64 {
+	if r < 2 {
+		r = 2
+	}
+	levels := make([]float64, 0, r+1)
+	levels = append(levels, rpf.MinUtility)
+	step := (1 - lo) / float64(r-1)
+	for i := 0; i < r; i++ {
+		levels = append(levels, lo+float64(i)*step)
+	}
+	return levels
+}
+
+// Hypothetical computes the hypothetical relative performance function of
+// Section 4.2 for a set of jobs at a common evaluation time.
+//
+// Two evaluation modes are provided:
+//
+//   - Predict implements the paper's sampled-matrix scheme: required
+//     speeds are tabulated in W (equation (4)) and achievable levels in V
+//     (equation (5)); the per-job speed for an aggregate allocation ω_g is
+//     linearly interpolated between the bracketing rows (equation (6)) and
+//     the per-job utility derived from the interpolated speed.
+//   - PredictExact solves Σ_m ω_m(u) = ω_g directly by bisection, the
+//     reference the sampled scheme approximates.
+type Hypothetical struct {
+	now    float64
+	jobs   []State
+	levels []float64
+	// w[i][m], v[i][m]: required speed and achievable level of job m at
+	// grid level i.
+	w, v [][]float64
+	// rowSum[i] = Σ_m w[i][m].
+	rowSum []float64
+}
+
+// ErrNoLevels reports an empty sampling grid.
+var ErrNoLevels = errors.New("batch: sampling grid must contain at least two levels")
+
+// NewHypothetical builds the W and V matrices for the given jobs at time
+// now. Jobs with no remaining work are skipped (they consume nothing).
+// levels must be strictly increasing; nil selects DefaultLevels.
+func NewHypothetical(now float64, jobs []State, levels []float64) (*Hypothetical, error) {
+	if levels == nil {
+		levels = DefaultLevels()
+	}
+	if len(levels) < 2 {
+		return nil, ErrNoLevels
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			return nil, fmt.Errorf("batch: sampling levels not increasing at %d", i)
+		}
+	}
+	active := make([]State, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Spec == nil {
+			return nil, errors.New("batch: nil job spec")
+		}
+		if j.Spec.Remaining(j.Done) > 0 {
+			active = append(active, j)
+		}
+	}
+	h := &Hypothetical{
+		now:    now,
+		jobs:   active,
+		levels: append([]float64(nil), levels...),
+		w:      make([][]float64, len(levels)),
+		v:      make([][]float64, len(levels)),
+		rowSum: make([]float64, len(levels)),
+	}
+	for i, u := range h.levels {
+		h.w[i] = make([]float64, len(active))
+		h.v[i] = make([]float64, len(active))
+		for m, j := range active {
+			jobNow := j.effectiveNow(now)
+			umax := j.Spec.UtilityCap(j.Done, jobNow)
+			if u < umax {
+				speed, _ := j.Spec.RequiredSpeed(u, j.Done, jobNow)
+				h.w[i][m] = speed
+				h.v[i][m] = u
+			} else {
+				speed, _ := j.Spec.RequiredSpeed(umax, j.Done, jobNow)
+				h.w[i][m] = speed
+				h.v[i][m] = umax
+			}
+		}
+		for _, s := range h.w[i] {
+			h.rowSum[i] += s
+		}
+	}
+	return h, nil
+}
+
+// Jobs returns the active jobs included in the matrices.
+func (h *Hypothetical) Jobs() []State { return h.jobs }
+
+// AggregateDemandAt returns Σ_m W[i][m] for the grid row closest to
+// level u (exact interpolation between rows).
+func (h *Hypothetical) AggregateDemandAt(u float64) float64 {
+	var total float64
+	for _, j := range h.jobs {
+		jobNow := j.effectiveNow(h.now)
+		umax := j.Spec.UtilityCap(j.Done, jobNow)
+		lv := math.Min(u, umax)
+		speed, _ := j.Spec.RequiredSpeed(lv, j.Done, jobNow)
+		total += speed
+	}
+	return total
+}
+
+// MaxAggregateDemand returns the allocation at which every job reaches
+// its achievable cap: Σ_m W[R][m].
+func (h *Hypothetical) MaxAggregateDemand() float64 {
+	if len(h.rowSum) == 0 {
+		return 0
+	}
+	return h.rowSum[len(h.rowSum)-1]
+}
+
+// Predict evaluates the sampled hypothetical function for an aggregate
+// allocation of omegaG MHz, returning one prediction per active job (in
+// the order of Jobs()).
+func (h *Hypothetical) Predict(omegaG float64) []Prediction {
+	out := make([]Prediction, len(h.jobs))
+	if len(h.jobs) == 0 {
+		return out
+	}
+	last := len(h.levels) - 1
+	// Above the top row everyone is at their cap.
+	if omegaG >= h.rowSum[last] {
+		for m, j := range h.jobs {
+			out[m] = Prediction{
+				Utility:  h.v[last][m],
+				SpeedMHz: h.w[last][m],
+			}
+			_ = j
+		}
+		return out
+	}
+	// Find bracket rows k, k+1 with rowSum[k] ≤ ω_g ≤ rowSum[k+1]
+	// (equation (6)). rowSum is nondecreasing.
+	k := 0
+	for i := 0; i < last; i++ {
+		if h.rowSum[i] <= omegaG {
+			k = i
+		} else {
+			break
+		}
+	}
+	lo, hi := h.rowSum[k], h.rowSum[k+1]
+	f := 0.0
+	if hi > lo {
+		f = (omegaG - lo) / (hi - lo)
+	}
+	for m, j := range h.jobs {
+		speed := h.w[k][m] + f*(h.w[k+1][m]-h.w[k][m])
+		// Derive the utility from the interpolated speed (the
+		// approximation of [24]): invert ω_m(u) exactly.
+		u := j.Spec.UtilityAtSpeed(speed, j.Done, j.effectiveNow(h.now))
+		out[m] = Prediction{Utility: u, SpeedMHz: speed}
+	}
+	return out
+}
+
+// PredictExact solves for the common level u* with Σ_m ω_m(min(u*,
+// u^max_m)) = ω_g by bisection and returns per-job predictions. It is the
+// reference implementation the sampled grid approximates.
+func (h *Hypothetical) PredictExact(omegaG float64) []Prediction {
+	out := make([]Prediction, len(h.jobs))
+	if len(h.jobs) == 0 {
+		return out
+	}
+	if omegaG >= h.MaxAggregateDemand() {
+		for m, j := range h.jobs {
+			jobNow := j.effectiveNow(h.now)
+			umax := j.Spec.UtilityCap(j.Done, jobNow)
+			speed, _ := j.Spec.RequiredSpeed(umax, j.Done, jobNow)
+			out[m] = Prediction{Utility: umax, SpeedMHz: speed}
+		}
+		return out
+	}
+	lo, hi := rpf.MinUtility, 1.0
+	for iter := 0; iter < 100 && hi-lo > 1e-9*math.Max(1, math.Abs(hi)+math.Abs(lo)); iter++ {
+		mid := lo + (hi-lo)/2
+		if h.AggregateDemandAt(mid) <= omegaG {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	level := lo
+	for m, j := range h.jobs {
+		jobNow := j.effectiveNow(h.now)
+		umax := j.Spec.UtilityCap(j.Done, jobNow)
+		u := math.Min(level, umax)
+		speed, _ := j.Spec.RequiredSpeed(u, j.Done, jobNow)
+		out[m] = Prediction{Utility: u, SpeedMHz: speed}
+	}
+	return out
+}
+
+// Mean returns the average predicted utility of a prediction set — the
+// series plotted in the paper's Figure 2.
+func Mean(preds []Prediction) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range preds {
+		sum += p.Utility
+	}
+	return sum / float64(len(preds))
+}

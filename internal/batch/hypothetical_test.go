@@ -1,0 +1,323 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynplace/internal/rpf"
+)
+
+// The worked example of Section 4.3, evaluated at the start of control
+// cycle 3 (t=2), after the cycle-2 placement has run for T=1 s.
+
+// TestWorkedExampleS1PlacementP1 reproduces the "both jobs placed at 500
+// MHz" branch of Scenario 1: J1 has 2500 Mcycles left, J2 1500, and with
+// ω_g = 1000 MHz the equalized hypothetical level is ≈0.70 for both
+// (paper Figure 1 shows 0.7/0.7 with speeds 612/387).
+func TestWorkedExampleS1PlacementP1(t *testing.T) {
+	jobs := []State{
+		{Spec: exampleJ1(), Done: 1500},
+		{Spec: exampleJ2(1), Done: 500},
+	}
+	h, err := NewHypothetical(2, jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	exact := h.PredictExact(1000)
+	if len(exact) != 2 {
+		t.Fatalf("predictions = %d, want 2", len(exact))
+	}
+	for i, p := range exact {
+		if math.Abs(p.Utility-0.697) > 0.005 {
+			t.Fatalf("exact job %d utility = %v, want ≈0.697", i, p.Utility)
+		}
+	}
+	// Speeds split 612/388 — the paper's Figure 1 shows exactly 612/387.
+	if math.Abs(exact[0].SpeedMHz-612) > 2 {
+		t.Fatalf("J1 speed = %v, want ≈612 (paper)", exact[0].SpeedMHz)
+	}
+	if math.Abs(exact[1].SpeedMHz-388) > 2 {
+		t.Fatalf("J2 speed = %v, want ≈388 (paper: 387)", exact[1].SpeedMHz)
+	}
+	// The sampled-grid variant approximates the exact solution.
+	grid := h.Predict(1000)
+	for i := range grid {
+		if math.Abs(grid[i].Utility-exact[i].Utility) > 0.05 {
+			t.Fatalf("grid job %d utility = %v, exact %v", i, grid[i].Utility, exact[i].Utility)
+		}
+	}
+	// Total interpolated speed matches the aggregate allocation.
+	if got := grid[0].SpeedMHz + grid[1].SpeedMHz; math.Abs(got-1000) > 1 {
+		t.Fatalf("grid speeds sum to %v, want 1000", got)
+	}
+}
+
+// TestWorkedExampleS1PlacementP2 reproduces the "J2 not started" branch:
+// J1 finished 2000 Mcycles at full speed; J2 starts at t=2 at the
+// earliest. Levels: J1 0.70, J2 capped at 11/16 = 0.6875 (paper: 0.7).
+func TestWorkedExampleS1PlacementP2(t *testing.T) {
+	jobs := []State{
+		{Spec: exampleJ1(), Done: 2000},
+		{Spec: exampleJ2(1), Done: 0},
+	}
+	h, err := NewHypothetical(2, jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	exact := h.PredictExact(1000)
+	if math.Abs(exact[0].Utility-0.70) > 0.005 {
+		t.Fatalf("J1 utility = %v, want 0.70", exact[0].Utility)
+	}
+	if math.Abs(exact[1].Utility-0.6875) > 0.005 {
+		t.Fatalf("J2 utility = %v, want 0.6875 (delay-capped)", exact[1].Utility)
+	}
+}
+
+// TestWorkedExampleS2 reproduces Scenario 2, where J2's tighter goal (13)
+// separates the two placements: P1 equalizes at ≈0.657 (paper 0.65/0.65)
+// while P2 yields (0.70, 0.583) (paper 0.7/0.6). The max-min order must
+// prefer P1 — the paper's key decision.
+func TestWorkedExampleS2(t *testing.T) {
+	p1Jobs := []State{
+		{Spec: exampleJ1(), Done: 1500},
+		{Spec: exampleJ2(2), Done: 500},
+	}
+	h1, err := NewHypothetical(2, p1Jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	p1 := h1.PredictExact(1000)
+	for i, p := range p1 {
+		if math.Abs(p.Utility-0.657) > 0.005 {
+			t.Fatalf("P1 job %d utility = %v, want ≈0.657", i, p.Utility)
+		}
+	}
+
+	p2Jobs := []State{
+		{Spec: exampleJ1(), Done: 2000},
+		{Spec: exampleJ2(2), Done: 0},
+	}
+	h2, err := NewHypothetical(2, p2Jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	p2 := h2.PredictExact(1000)
+	if math.Abs(p2[0].Utility-0.70) > 0.005 {
+		t.Fatalf("P2 J1 utility = %v, want 0.70", p2[0].Utility)
+	}
+	if math.Abs(p2[1].Utility-7.0/12) > 0.005 {
+		t.Fatalf("P2 J2 utility = %v, want %v", p2[1].Utility, 7.0/12)
+	}
+
+	v1 := rpf.NewVector([]float64{p1[0].Utility, p1[1].Utility})
+	v2 := rpf.NewVector([]float64{p2[0].Utility, p2[1].Utility})
+	if !v2.Less(v1) {
+		t.Fatalf("max-min order must prefer P1 (%v) over P2 (%v)", v1, v2)
+	}
+}
+
+func TestFinishedJobsExcluded(t *testing.T) {
+	jobs := []State{
+		{Spec: exampleJ1(), Done: 4000}, // complete
+		{Spec: exampleJ2(1), Done: 0},
+	}
+	h, err := NewHypothetical(2, jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	if got := len(h.Jobs()); got != 1 {
+		t.Fatalf("active jobs = %d, want 1", got)
+	}
+}
+
+func TestAbundantCapacityGivesCaps(t *testing.T) {
+	jobs := []State{
+		{Spec: exampleJ1(), Done: 0},
+		{Spec: exampleJ2(1), Done: 0},
+	}
+	h, err := NewHypothetical(1, jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	for _, preds := range [][]Prediction{h.Predict(1e9), h.PredictExact(1e9)} {
+		for i, p := range preds {
+			want := jobs[i].Spec.UtilityCap(jobs[i].Done, 1)
+			if math.Abs(p.Utility-want) > 1e-9 {
+				t.Fatalf("job %d utility = %v, want cap %v", i, p.Utility, want)
+			}
+		}
+	}
+}
+
+func TestZeroAllocation(t *testing.T) {
+	jobs := []State{{Spec: exampleJ1(), Done: 0}}
+	h, err := NewHypothetical(0, jobs, nil)
+	if err != nil {
+		t.Fatalf("NewHypothetical: %v", err)
+	}
+	preds := h.Predict(0)
+	if preds[0].Utility > -100 {
+		t.Fatalf("zero-allocation utility = %v, want deeply negative", preds[0].Utility)
+	}
+}
+
+func TestLevelValidation(t *testing.T) {
+	jobs := []State{{Spec: exampleJ1(), Done: 0}}
+	if _, err := NewHypothetical(0, jobs, []float64{0.5}); err == nil {
+		t.Fatal("single-level grid accepted")
+	}
+	if _, err := NewHypothetical(0, jobs, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("non-increasing grid accepted")
+	}
+	if _, err := NewHypothetical(0, []State{{Spec: nil}}, nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+}
+
+func TestUniformLevels(t *testing.T) {
+	levels := UniformLevels(5, -2)
+	if levels[0] != rpf.MinUtility {
+		t.Fatalf("levels[0] = %v, want sentinel", levels[0])
+	}
+	if got := levels[len(levels)-1]; got != 1 {
+		t.Fatalf("top level = %v, want 1", got)
+	}
+	if len(levels) != 6 {
+		t.Fatalf("len = %d, want 6", len(levels))
+	}
+	// Degenerate request still yields a valid grid.
+	if got := UniformLevels(0, -1); len(got) != 3 {
+		t.Fatalf("UniformLevels(0) len = %d, want 3", len(got))
+	}
+}
+
+// Property: grid prediction approaches the exact solution as the grid is
+// refined, and per-job speeds always sum to ω_g (when below the cap sum).
+func TestQuickGridConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		jobs := make([]State, n)
+		now := rng.Float64() * 5
+		for i := range jobs {
+			work := 500 + rng.Float64()*8000
+			speed := 200 + rng.Float64()*1500
+			deadline := now + 1 + rng.Float64()*40
+			jobs[i] = State{
+				Spec: SingleStage("j", work, speed, 100, 0, deadline),
+				Done: rng.Float64() * work * 0.9,
+			}
+		}
+		coarse, err := NewHypothetical(now, jobs, UniformLevels(6, -4))
+		if err != nil {
+			t.Fatalf("coarse: %v", err)
+		}
+		fine, err := NewHypothetical(now, jobs, UniformLevels(200, -4))
+		if err != nil {
+			t.Fatalf("fine: %v", err)
+		}
+		omegaG := rng.Float64() * coarse.MaxAggregateDemand()
+		exact := coarse.PredictExact(omegaG)
+		fineG := fine.Predict(omegaG)
+		coarseG := coarse.Predict(omegaG)
+		var fineErr, coarseErr float64
+		for m := range exact {
+			fineErr = math.Max(fineErr, math.Abs(fineG[m].Utility-exact[m].Utility))
+			coarseErr = math.Max(coarseErr, math.Abs(coarseG[m].Utility-exact[m].Utility))
+		}
+		// Refinement must not make the approximation substantially worse
+		// (interpolation error is not strictly monotone in grid size, so a
+		// small tolerance applies), and the fine grid must be accurate.
+		if fineErr > coarseErr+0.01 {
+			t.Fatalf("trial %d: refining the grid increased error: fine %v coarse %v",
+				trial, fineErr, coarseErr)
+		}
+		if fineErr > 0.01 {
+			t.Fatalf("trial %d: fine-grid error %v too large", trial, fineErr)
+		}
+		// Interpolated speeds sum to ω_g below the cap sum.
+		var sum float64
+		for _, p := range fineG {
+			sum += p.SpeedMHz
+		}
+		if omegaG < fine.MaxAggregateDemand() && math.Abs(sum-omegaG) > 1e-6*math.Max(1, omegaG) {
+			t.Fatalf("trial %d: speeds sum %v, want ω_g %v", trial, sum, omegaG)
+		}
+	}
+}
+
+// Property: predicted utilities never exceed each job's achievable cap
+// and are monotone in ω_g.
+func TestQuickPredictionsMonotoneInAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		jobs := make([]State, n)
+		for i := range jobs {
+			work := 500 + rng.Float64()*5000
+			jobs[i] = State{Spec: SingleStage("j", work, 300+rng.Float64()*900, 10, 0, 5+rng.Float64()*30)}
+		}
+		h, err := NewHypothetical(1, jobs, nil)
+		if err != nil {
+			t.Fatalf("NewHypothetical: %v", err)
+		}
+		prev := make([]float64, n)
+		for i := range prev {
+			prev[i] = math.Inf(-1)
+		}
+		maxD := h.MaxAggregateDemand()
+		for _, frac := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1.0, 1.5} {
+			preds := h.PredictExact(frac * maxD)
+			for m, p := range preds {
+				capU := jobs[m].Spec.UtilityCap(jobs[m].Done, 1)
+				if p.Utility > capU+1e-9 {
+					t.Fatalf("trial %d: utility %v above cap %v", trial, p.Utility, capU)
+				}
+				if p.Utility < prev[m]-1e-9 {
+					t.Fatalf("trial %d: utility decreased with more capacity", trial)
+				}
+				prev[m] = p.Utility
+			}
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	preds := []Prediction{{Utility: 0.2}, {Utility: 0.6}}
+	if got := Mean(preds); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Mean = %v, want 0.4", got)
+	}
+}
+
+// Property: a start delay can only lower a job's predicted utility, and
+// zero delay matches the undelayed prediction exactly.
+func TestQuickDelayMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		spec := SingleStage("d", 2000+rng.Float64()*8000,
+			300+rng.Float64()*900, 10, 0, 10+rng.Float64()*50)
+		other := SingleStage("o", 2000+rng.Float64()*8000,
+			300+rng.Float64()*900, 10, 0, 10+rng.Float64()*50)
+		now := rng.Float64() * 5
+		omegaG := rng.Float64() * 2000
+		prev := math.Inf(1)
+		for _, delay := range []float64{0, 1, 5, 20} {
+			h, err := NewHypothetical(now, []State{
+				{Spec: spec, Delay: delay},
+				{Spec: other},
+			}, nil)
+			if err != nil {
+				t.Fatalf("NewHypothetical: %v", err)
+			}
+			u := h.PredictExact(omegaG)[0].Utility
+			if u > prev+1e-9 {
+				t.Fatalf("trial %d: delay %v raised utility (%v -> %v)", trial, delay, prev, u)
+			}
+			prev = u
+		}
+	}
+}

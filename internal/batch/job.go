@@ -1,0 +1,307 @@
+// Package batch models long-running (batch) jobs: multi-stage resource
+// usage profiles, completion-time goals, stage-aware progress, and — the
+// paper's original contribution — the hypothetical relative performance
+// function that predicts, at every control cycle, the relative
+// performance each job in the system (running or queued) will achieve
+// under a given aggregate CPU allocation.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dynplace/internal/rpf"
+)
+
+// Stage is one phase of a job's resource usage profile, as supplied by
+// the job workload profiler at submission time.
+type Stage struct {
+	// WorkMcycles is α: the CPU cycles consumed in this stage, in
+	// megacycles (1 MHz · 1 s).
+	WorkMcycles float64
+	// MaxSpeedMHz is ω^max: the fastest the stage can execute.
+	MaxSpeedMHz float64
+	// MinSpeedMHz is ω^min: the slowest the stage may run whenever it
+	// runs (0 = may be paused at any speed).
+	MinSpeedMHz float64
+	// MemoryMB is γ: the memory footprint while in this stage.
+	MemoryMB float64
+}
+
+// Spec is the immutable description of a job: its profile and SLA.
+type Spec struct {
+	// Name identifies the job.
+	Name string
+	// Stages is the resource usage profile, executed in order.
+	Stages []Stage
+	// Submit is the submission time (seconds of virtual time).
+	Submit float64
+	// DesiredStart is τ^start, at or after Submit.
+	DesiredStart float64
+	// Deadline is τ, the completion time goal.
+	Deadline float64
+	// AntiCollocate lists application names this job must never share a
+	// node with — a placement constraint carried with the job.
+	AntiCollocate []string
+}
+
+// ErrBadSpec reports an invalid job definition.
+var ErrBadSpec = errors.New("batch: invalid job spec")
+
+// Validate checks the spec for internal consistency.
+func (s *Spec) Validate() error {
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("%w %q: no stages", ErrBadSpec, s.Name)
+	}
+	for i, st := range s.Stages {
+		switch {
+		case st.WorkMcycles <= 0:
+			return fmt.Errorf("%w %q: stage %d work must be positive", ErrBadSpec, s.Name, i)
+		case st.MaxSpeedMHz <= 0:
+			return fmt.Errorf("%w %q: stage %d max speed must be positive", ErrBadSpec, s.Name, i)
+		case st.MinSpeedMHz < 0 || st.MinSpeedMHz > st.MaxSpeedMHz:
+			return fmt.Errorf("%w %q: stage %d min speed %v outside [0, %v]",
+				ErrBadSpec, s.Name, i, st.MinSpeedMHz, st.MaxSpeedMHz)
+		case st.MemoryMB < 0:
+			return fmt.Errorf("%w %q: stage %d memory must be nonnegative", ErrBadSpec, s.Name, i)
+		}
+	}
+	if s.DesiredStart < s.Submit {
+		return fmt.Errorf("%w %q: desired start %v before submit %v", ErrBadSpec, s.Name, s.DesiredStart, s.Submit)
+	}
+	if s.Deadline <= s.DesiredStart {
+		return fmt.Errorf("%w %q: deadline %v not after desired start %v", ErrBadSpec, s.Name, s.Deadline, s.DesiredStart)
+	}
+	return nil
+}
+
+// SingleStage builds a one-stage spec, the common case in the paper's
+// experiments.
+func SingleStage(name string, workMcycles, maxSpeedMHz, memoryMB, submit, deadline float64) *Spec {
+	return &Spec{
+		Name: name,
+		Stages: []Stage{{
+			WorkMcycles: workMcycles,
+			MaxSpeedMHz: maxSpeedMHz,
+			MemoryMB:    memoryMB,
+		}},
+		Submit:       submit,
+		DesiredStart: submit,
+		Deadline:     deadline,
+	}
+}
+
+// TotalWork returns Σ α over all stages.
+func (s *Spec) TotalWork() float64 {
+	var sum float64
+	for _, st := range s.Stages {
+		sum += st.WorkMcycles
+	}
+	return sum
+}
+
+// MinExecTime returns the execution time running every stage flat-out.
+func (s *Spec) MinExecTime() float64 {
+	var sum float64
+	for _, st := range s.Stages {
+		sum += st.WorkMcycles / st.MaxSpeedMHz
+	}
+	return sum
+}
+
+// RelativeGoal returns τ − τ^start, the window the RPF normalizes by.
+func (s *Spec) RelativeGoal() float64 { return s.Deadline - s.DesiredStart }
+
+// GoalFactor returns the paper's relative goal factor: the relative goal
+// divided by the minimum execution time.
+func (s *Spec) GoalFactor() float64 { return s.RelativeGoal() / s.MinExecTime() }
+
+// StageAt returns the index of the stage in progress after done
+// megacycles, and the work remaining within it. A fully-complete job
+// reports the last stage with zero remaining.
+func (s *Spec) StageAt(done float64) (idx int, remainingInStage float64) {
+	var cum float64
+	for i, st := range s.Stages {
+		cum += st.WorkMcycles
+		if done < cum {
+			return i, cum - done
+		}
+	}
+	return len(s.Stages) - 1, 0
+}
+
+// MemoryAt returns the memory footprint of the stage in progress.
+func (s *Spec) MemoryAt(done float64) float64 {
+	i, _ := s.StageAt(done)
+	return s.Stages[i].MemoryMB
+}
+
+// MaxMemory returns the largest stage footprint; placement uses it as the
+// conservative reservation for multi-stage jobs.
+func (s *Spec) MaxMemory() float64 {
+	var mm float64
+	for _, st := range s.Stages {
+		if st.MemoryMB > mm {
+			mm = st.MemoryMB
+		}
+	}
+	return mm
+}
+
+// MaxSpeedAt returns the speed cap of the stage in progress.
+func (s *Spec) MaxSpeedAt(done float64) float64 {
+	i, _ := s.StageAt(done)
+	return s.Stages[i].MaxSpeedMHz
+}
+
+// MinSpeedAt returns the speed floor of the stage in progress.
+func (s *Spec) MinSpeedAt(done float64) float64 {
+	i, _ := s.StageAt(done)
+	return s.Stages[i].MinSpeedMHz
+}
+
+// Remaining returns the outstanding work after done megacycles.
+func (s *Spec) Remaining(done float64) float64 {
+	rem := s.TotalWork() - done
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// MinRemainingTime returns the shortest time to finish the outstanding
+// work, honoring per-stage speed caps.
+func (s *Spec) MinRemainingTime(done float64) float64 {
+	if s.Remaining(done) == 0 {
+		return 0
+	}
+	idx, remIn := s.StageAt(done)
+	t := remIn / s.Stages[idx].MaxSpeedMHz
+	for i := idx + 1; i < len(s.Stages); i++ {
+		t += s.Stages[i].WorkMcycles / s.Stages[i].MaxSpeedMHz
+	}
+	return t
+}
+
+// SustainableSpeed returns the average speed achieved running flat-out
+// from done to completion: remaining work over minimum remaining time.
+// This is the cap used when clamping required speeds (equations (4)–(5)).
+func (s *Spec) SustainableSpeed(done float64) float64 {
+	rem := s.Remaining(done)
+	if rem == 0 {
+		return 0
+	}
+	return rem / s.MinRemainingTime(done)
+}
+
+// Advance simulates running the job at allocated speed for dt seconds
+// starting from done megacycles, honoring per-stage speed caps, and
+// returns the new done value and the unused time (nonzero when the job
+// finishes before dt elapses).
+func (s *Spec) Advance(done, speed, dt float64) (newDone, idleTime float64) {
+	if speed <= 0 || dt <= 0 {
+		return done, 0
+	}
+	remTime := dt
+	for remTime > 1e-12 {
+		idx, remIn := s.StageAt(done)
+		if remIn == 0 {
+			// Job complete.
+			return done, remTime
+		}
+		eff := math.Min(speed, s.Stages[idx].MaxSpeedMHz)
+		if eff <= 0 {
+			return done, 0
+		}
+		need := remIn / eff
+		if need > remTime {
+			return done + eff*remTime, 0
+		}
+		done += remIn
+		remTime -= need
+	}
+	return done, 0
+}
+
+// TimeToFinish returns the time needed to complete the outstanding work
+// running at the given allocated speed (clamped per stage). It returns
+// +Inf when the speed is nonpositive and work remains.
+func (s *Spec) TimeToFinish(done, speed float64) float64 {
+	if s.Remaining(done) == 0 {
+		return 0
+	}
+	if speed <= 0 {
+		return math.Inf(1)
+	}
+	var t float64
+	idx, remIn := s.StageAt(done)
+	t += remIn / math.Min(speed, s.Stages[idx].MaxSpeedMHz)
+	for i := idx + 1; i < len(s.Stages); i++ {
+		t += s.Stages[i].WorkMcycles / math.Min(speed, s.Stages[i].MaxSpeedMHz)
+	}
+	return t
+}
+
+// UtilityAtCompletion returns the job's relative performance if it
+// completes at time t: u = (τ − t)/(τ − τ^start), equation (2).
+func (s *Spec) UtilityAtCompletion(t float64) float64 {
+	return rpf.Clamp((s.Deadline - t) / s.RelativeGoal())
+}
+
+// CompletionForUtility inverts UtilityAtCompletion.
+func (s *Spec) CompletionForUtility(u float64) float64 {
+	return s.Deadline - u*s.RelativeGoal()
+}
+
+// UtilityCap returns u^max: the best relative performance reachable from
+// the current state, running flat-out starting at now.
+func (s *Spec) UtilityCap(done, now float64) float64 {
+	if s.Remaining(done) == 0 {
+		return s.UtilityAtCompletion(now)
+	}
+	return s.UtilityAtCompletion(now + s.MinRemainingTime(done))
+}
+
+// RequiredSpeed returns ω_m(u): the average speed, sustained from now,
+// needed to finish with relative performance u — equation (3) — clamped
+// to the job's sustainable maximum (equation (4)). The boolean reports
+// whether the level is achievable (false means the clamp applied).
+func (s *Spec) RequiredSpeed(u, done, now float64) (float64, bool) {
+	rem := s.Remaining(done)
+	if rem == 0 {
+		return 0, true
+	}
+	capSpeed := s.SustainableSpeed(done)
+	if u <= rpf.MinUtility {
+		return 0, true
+	}
+	t := s.CompletionForUtility(u)
+	if t <= now {
+		return capSpeed, false
+	}
+	omega := rem / (t - now)
+	if omega >= capSpeed {
+		achievable := u <= s.UtilityCap(done, now)+1e-12
+		return capSpeed, achievable
+	}
+	return omega, true
+}
+
+// UtilityAtSpeed returns the relative performance achieved by sustaining
+// the average speed omega from now to completion (capped by the
+// sustainable speed), i.e. the inverse of RequiredSpeed.
+func (s *Spec) UtilityAtSpeed(omega, done, now float64) float64 {
+	rem := s.Remaining(done)
+	if rem == 0 {
+		return s.UtilityAtCompletion(now)
+	}
+	if omega <= 0 {
+		return rpf.MinUtility
+	}
+	capSpeed := s.SustainableSpeed(done)
+	if omega >= capSpeed {
+		return s.UtilityCap(done, now)
+	}
+	return s.UtilityAtCompletion(now + rem/omega)
+}

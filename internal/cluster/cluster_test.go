@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewAssignsIDsAndNames(t *testing.T) {
+	c, err := New(
+		Node{CPUMHz: 1000, MemMB: 2000},
+		Node{Name: "big", CPUMHz: 15600, MemMB: 16384},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	n0, ok := c.Node(0)
+	if !ok || n0.Name != "node-0" || n0.ID != 0 {
+		t.Fatalf("Node(0) = %+v, ok=%v", n0, ok)
+	}
+	n1, ok := c.Node(1)
+	if !ok || n1.Name != "big" || n1.ID != 1 {
+		t.Fatalf("Node(1) = %+v, ok=%v", n1, ok)
+	}
+	if _, ok := c.Node(2); ok {
+		t.Fatal("Node(2) should not exist")
+	}
+	if _, ok := c.Node(-1); ok {
+		t.Fatal("Node(-1) should not exist")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Node{CPUMHz: 0, MemMB: 10}); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("zero CPU: err = %v, want ErrBadNode", err)
+	}
+	if _, err := New(Node{CPUMHz: 10, MemMB: -1}); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("negative memory: err = %v, want ErrBadNode", err)
+	}
+	if _, err := Uniform(0, 1, 1); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("zero count: err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestUniformTotals(t *testing.T) {
+	// Experiment One's cluster: 25 nodes, 4 CPUs at 3.9 GHz, 16 GB.
+	c, err := Uniform(25, 4*3900, 16384)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if got, want := c.TotalCPU(), 390000.0; got != want {
+		t.Fatalf("TotalCPU = %v, want %v", got, want)
+	}
+	if got, want := c.TotalMem(), 25*16384.0; got != want {
+		t.Fatalf("TotalMem = %v, want %v", got, want)
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	c, err := Uniform(2, 100, 100)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	nodes := c.Nodes()
+	nodes[0].CPUMHz = 999
+	n, _ := c.Node(0)
+	if n.CPUMHz != 100 {
+		t.Fatal("mutating Nodes() result changed the cluster")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	c, err := Uniform(5, 100, 200)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	sub, err := c.Subset([]NodeID{3, 4})
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("subset Len = %d, want 2", sub.Len())
+	}
+	n, ok := sub.Node(0)
+	if !ok || n.ID != 0 {
+		t.Fatalf("subset nodes not renumbered: %+v", n)
+	}
+	if _, err := c.Subset([]NodeID{9}); err == nil {
+		t.Fatal("Subset with bad ID succeeded")
+	}
+}
+
+func TestDefaultCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	// The paper: Suspend = footprint * 0.0353 s, Resume = * 0.0333,
+	// Migrate = * 0.0132, boot = 3.6 s.
+	if got := cm.Suspend(4320); math.Abs(got-152.496) > 1e-9 {
+		t.Fatalf("Suspend(4320) = %v, want 152.496", got)
+	}
+	if got := cm.Resume(4320); math.Abs(got-143.856) > 1e-9 {
+		t.Fatalf("Resume(4320) = %v, want 143.856", got)
+	}
+	if got := cm.Migrate(4320); math.Abs(got-57.024) > 1e-9 {
+		t.Fatalf("Migrate(4320) = %v, want 57.024", got)
+	}
+	if got := cm.Boot(); got != 3.6 {
+		t.Fatalf("Boot = %v, want 3.6", got)
+	}
+}
+
+func TestFreeCostModel(t *testing.T) {
+	cm := FreeCostModel()
+	if cm.Suspend(1000) != 0 || cm.Resume(1000) != 0 || cm.Migrate(1000) != 0 || cm.Boot() != 0 {
+		t.Fatal("FreeCostModel should cost nothing")
+	}
+}

@@ -1,0 +1,628 @@
+// Package control implements the management control loop: every cycle T
+// it consults the configured scheduling policy (or the integrated
+// placement controller for mixed workloads), applies the resulting
+// placement actions with their virtualization costs, and records the time
+// series the paper's figures report.
+//
+// Two modes are supported, matching the paper's Experiment Three
+// configurations:
+//
+//   - Policy mode: batch jobs are scheduled by a pluggable policy (APC,
+//     EDF, FCFS) on the nodes not reserved for web workloads; web
+//     applications, if any, are statically assigned dedicated nodes.
+//   - Dynamic mode: the placement controller manages web applications and
+//     batch jobs together on the full cluster, sharing resources by
+//     equalizing relative performance.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+	"dynplace/internal/metrics"
+	"dynplace/internal/scheduler"
+	"dynplace/internal/sim"
+	"dynplace/internal/txn"
+)
+
+// DynamicConfig tunes the integrated placement controller.
+type DynamicConfig struct {
+	// Epsilon is the minimum improvement justifying placement changes.
+	Epsilon float64
+	// MaxPasses bounds optimizer sweeps.
+	MaxPasses int
+	// Levels overrides the hypothetical sampling grid.
+	Levels []float64
+	// ExactHypothetical selects bisection over the sampled grid.
+	ExactHypothetical bool
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Cluster is the hardware inventory.
+	Cluster *cluster.Cluster
+	// CycleSeconds is the control cycle length T.
+	CycleSeconds float64
+	// Costs is the placement-action cost model.
+	Costs cluster.CostModel
+
+	// Policy schedules batch jobs (policy mode). Mutually exclusive with
+	// Dynamic.
+	Policy scheduler.Policy
+	// Dynamic enables integrated mixed-workload management.
+	Dynamic *DynamicConfig
+
+	// WebApps are the transactional applications.
+	WebApps []*txn.App
+	// WebLoad optionally schedules arrival-rate changes per web app
+	// (parallel to WebApps; nil entries keep the app's rate constant).
+	// The controller reacts at the next cycle — the scenario the paper's
+	// short control cycle exists for.
+	WebLoad [][]LoadPhase
+	// WebNodes statically dedicates nodes to the web workload (policy
+	// mode only); batch jobs run on the remaining nodes.
+	WebNodes []cluster.NodeID
+}
+
+// LoadPhase sets a web application's request arrival rate from a given
+// virtual time onward.
+type LoadPhase struct {
+	// Start is when the phase begins (seconds of virtual time).
+	Start float64
+	// ArrivalRate is λ during the phase (requests/second).
+	ArrivalRate float64
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("control: invalid config")
+
+// Runner drives one simulated experiment.
+type Runner struct {
+	cfg      Config
+	sim      *sim.Simulator
+	jobs     []*scheduler.Job
+	actions  *metrics.Counter
+	failed   map[cluster.NodeID]bool
+	finishes map[*scheduler.Job]sim.Handle
+
+	// Dynamic-mode state: persisted web placement (node sets per web
+	// app, indexed as in cfg.WebApps).
+	webPlacement [][]cluster.NodeID
+
+	// Recorded series.
+	hypoUtil     *metrics.Series // mean hypothetical utility, batch
+	webUtil      []*metrics.Series
+	webAlloc     []*metrics.Series
+	batchAlloc   *metrics.Series
+	queueLen     *metrics.Series
+	changes      *metrics.Series
+	totalChanges int
+}
+
+// NewRunner validates the configuration and prepares a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty cluster", ErrBadConfig)
+	}
+	if cfg.CycleSeconds <= 0 {
+		return nil, fmt.Errorf("%w: cycle must be positive", ErrBadConfig)
+	}
+	switch {
+	case cfg.Policy != nil && cfg.Dynamic != nil:
+		return nil, fmt.Errorf("%w: Policy and Dynamic are mutually exclusive", ErrBadConfig)
+	case cfg.Policy == nil && cfg.Dynamic == nil:
+		return nil, fmt.Errorf("%w: need a Policy or Dynamic mode", ErrBadConfig)
+	case cfg.Dynamic != nil && len(cfg.WebNodes) > 0:
+		return nil, fmt.Errorf("%w: WebNodes is for static partitions (policy mode)", ErrBadConfig)
+	}
+	for _, id := range cfg.WebNodes {
+		if _, ok := cfg.Cluster.Node(id); !ok {
+			return nil, fmt.Errorf("%w: web node %d not in cluster", ErrBadConfig, id)
+		}
+	}
+	for _, w := range cfg.WebApps {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{
+		cfg:          cfg,
+		sim:          sim.New(),
+		actions:      metrics.NewCounter(),
+		failed:       make(map[cluster.NodeID]bool),
+		finishes:     make(map[*scheduler.Job]sim.Handle),
+		webPlacement: make([][]cluster.NodeID, len(cfg.WebApps)),
+		hypoUtil:     metrics.NewSeries("batch hypothetical utility"),
+		batchAlloc:   metrics.NewSeries("batch allocation MHz"),
+		queueLen:     metrics.NewSeries("queued jobs"),
+		changes:      metrics.NewSeries("placement changes"),
+	}
+	for _, w := range cfg.WebApps {
+		r.webUtil = append(r.webUtil, metrics.NewSeries(w.Name+" utility"))
+		r.webAlloc = append(r.webAlloc, metrics.NewSeries(w.Name+" allocation MHz"))
+	}
+	return r, nil
+}
+
+// Submit registers a job for arrival at its spec's submit time.
+func (r *Runner) Submit(spec *batch.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	job := scheduler.NewJob(spec)
+	r.jobs = append(r.jobs, job)
+	_, err := r.sim.At(sim.Time(spec.Submit), func(sim.Time) {
+		// Arrival is recorded implicitly: the job is Pending and its
+		// submit time has passed; the next control cycle sees it.
+	})
+	return err
+}
+
+// SubmitAll registers a whole trace.
+func (r *Runner) SubmitAll(specs []*batch.Spec) error {
+	for _, s := range specs {
+		if err := r.Submit(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailNode schedules a node failure: at time t the node's capacity
+// disappears and jobs on it are suspended (progress preserved, as with
+// suspend-to-shared-storage virtualization).
+func (r *Runner) FailNode(at float64, node cluster.NodeID) error {
+	if _, ok := r.cfg.Cluster.Node(node); !ok {
+		return fmt.Errorf("%w: no node %d", ErrBadConfig, node)
+	}
+	_, err := r.sim.At(sim.Time(at), func(now sim.Time) {
+		r.failed[node] = true
+		for _, j := range r.jobs {
+			if j.Node == node && (j.Status == scheduler.Running || j.Status == scheduler.Paused) {
+				j.AdvanceTo(now.Seconds())
+				if j.Status != scheduler.Completed {
+					j.Suspends++
+					r.actions.Inc(scheduler.ActionSuspend, 1)
+					j.LastNode = j.Node
+					j.Node = scheduler.NoNode
+					j.SpeedMHz = 0
+					j.Status = scheduler.Suspended
+					if h, ok := r.finishes[j]; ok {
+						r.sim.Cancel(h)
+						delete(r.finishes, j)
+					}
+				}
+			}
+		}
+		// Evict web instances placed there (dynamic mode).
+		for i, nodes := range r.webPlacement {
+			keep := nodes[:0]
+			for _, nd := range nodes {
+				if nd != node {
+					keep = append(keep, nd)
+				}
+			}
+			r.webPlacement[i] = keep
+		}
+	})
+	return err
+}
+
+// Run executes control cycles until the horizon. Jobs still incomplete
+// at the horizon remain incomplete.
+func (r *Runner) Run(horizon float64) error {
+	return r.run(horizon, false)
+}
+
+// RunUntilDrained executes control cycles until every submitted job has
+// completed, or the guard horizon is hit.
+func (r *Runner) RunUntilDrained(maxHorizon float64) error {
+	return r.run(maxHorizon, true)
+}
+
+func (r *Runner) run(horizon float64, drain bool) error {
+	var tickErr error
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		if err := r.cycle(now.Seconds()); err != nil {
+			tickErr = err
+			r.sim.Stop()
+			return
+		}
+		if drain && r.allDone() {
+			return
+		}
+		next := now.Add(r.cfg.CycleSeconds)
+		if float64(next) > horizon {
+			return
+		}
+		if _, err := r.sim.At(next, tick); err != nil {
+			tickErr = err
+			r.sim.Stop()
+		}
+	}
+	start := r.sim.Now()
+	if _, err := r.sim.At(start, tick); err != nil {
+		return err
+	}
+	r.sim.Run(sim.Time(horizon))
+	return tickErr
+}
+
+func (r *Runner) allDone() bool {
+	for _, j := range r.jobs {
+		if j.Status != scheduler.Completed {
+			return false
+		}
+	}
+	return true
+}
+
+// liveJobs returns submitted, incomplete jobs at time now.
+func (r *Runner) liveJobs(now float64) []*scheduler.Job {
+	out := make([]*scheduler.Job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		if j.Status == scheduler.Completed || j.Spec.Submit > now {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// batchNodes returns the capacities available to batch work.
+func (r *Runner) batchNodes() []scheduler.NodeCapacity {
+	reserved := make(map[cluster.NodeID]bool, len(r.cfg.WebNodes))
+	for _, id := range r.cfg.WebNodes {
+		reserved[id] = true
+	}
+	var out []scheduler.NodeCapacity
+	for _, n := range r.cfg.Cluster.Nodes() {
+		if reserved[n.ID] || r.failed[n.ID] {
+			continue
+		}
+		out = append(out, scheduler.NodeCapacity{ID: n.ID, CPUMHz: n.CPUMHz, MemMB: n.MemMB})
+	}
+	return out
+}
+
+// cycle runs one control-loop iteration at time now.
+func (r *Runner) cycle(now float64) error {
+	r.applyLoadSchedules(now)
+	for _, j := range r.jobs {
+		if j.Spec.Submit <= now {
+			j.AdvanceTo(now)
+		}
+	}
+	live := r.liveJobs(now)
+
+	var changed int
+	var err error
+	if r.cfg.Dynamic != nil {
+		changed, err = r.dynamicCycle(now, live)
+	} else {
+		changed, err = r.policyCycle(now, live)
+	}
+	if err != nil {
+		return err
+	}
+	r.totalChanges += changed
+	r.changes.Add(now, float64(changed))
+
+	queued := 0
+	for _, j := range live {
+		if j.Status == scheduler.Pending || j.Status == scheduler.Suspended {
+			queued++
+		}
+	}
+	r.queueLen.Add(now, float64(queued))
+
+	r.scheduleCompletions(now)
+	return nil
+}
+
+// applyLoadSchedules updates each web app's arrival rate to the latest
+// phase that has begun.
+func (r *Runner) applyLoadSchedules(now float64) {
+	for i, phases := range r.cfg.WebLoad {
+		if i >= len(r.cfg.WebApps) {
+			break
+		}
+		for _, ph := range phases {
+			if ph.Start <= now && ph.ArrivalRate > 0 {
+				r.cfg.WebApps[i].ArrivalRate = ph.ArrivalRate
+			}
+		}
+	}
+}
+
+// policyCycle delegates batch scheduling to the configured policy and
+// models the static web partition analytically.
+func (r *Runner) policyCycle(now float64, live []*scheduler.Job) (int, error) {
+	asg, err := r.cfg.Policy.Schedule(now, r.cfg.CycleSeconds, live, r.batchNodes())
+	if err != nil {
+		return 0, err
+	}
+	changed := scheduler.Apply(now, live, asg, r.cfg.Costs, r.actions)
+
+	var omegaG float64
+	for _, a := range asg {
+		omegaG += a.SpeedMHz
+	}
+	r.batchAlloc.Add(now, omegaG)
+	r.recordHypothetical(now, live, omegaG)
+
+	// Static web partition: the apps share the reserved nodes' capacity.
+	if len(r.cfg.WebApps) > 0 {
+		var partitionCPU float64
+		for _, id := range r.cfg.WebNodes {
+			if r.failed[id] {
+				continue
+			}
+			n, _ := r.cfg.Cluster.Node(id)
+			partitionCPU += n.CPUMHz
+		}
+		remaining := partitionCPU
+		for i, w := range r.cfg.WebApps {
+			alloc := math.Min(remaining, w.MaxDemand())
+			remaining -= alloc
+			r.webAlloc[i].Add(now, alloc)
+			r.webUtil[i].Add(now, w.Utility(alloc))
+		}
+	}
+	return changed, nil
+}
+
+// dynamicCycle runs the integrated placement controller over web apps and
+// jobs together.
+func (r *Runner) dynamicCycle(now float64, live []*scheduler.Job) (int, error) {
+	// Alive nodes, densely renumbered for the optimizer.
+	var defs []cluster.Node
+	var toOriginal []cluster.NodeID
+	toDense := make(map[cluster.NodeID]cluster.NodeID)
+	for _, n := range r.cfg.Cluster.Nodes() {
+		if r.failed[n.ID] {
+			continue
+		}
+		toDense[n.ID] = cluster.NodeID(len(defs))
+		toOriginal = append(toOriginal, n.ID)
+		defs = append(defs, cluster.Node{Name: n.Name, CPUMHz: n.CPUMHz, MemMB: n.MemMB})
+	}
+	cl, err := cluster.New(defs...)
+	if err != nil {
+		return 0, err
+	}
+
+	nWeb := len(r.cfg.WebApps)
+	apps := make([]*core.Application, 0, nWeb+len(live))
+	current := core.NewPlacement(nWeb + len(live))
+	lastNodes := make([]cluster.NodeID, nWeb+len(live))
+	for i, w := range r.cfg.WebApps {
+		apps = append(apps, &core.Application{
+			Name: w.Name, Kind: core.KindWeb, Web: w, AntiCollocate: w.AntiCollocate,
+		})
+		lastNodes[i] = -1
+		for _, nd := range r.webPlacement[i] {
+			if dense, ok := toDense[nd]; ok {
+				current.Add(i, dense)
+			}
+		}
+	}
+	for k, j := range live {
+		idx := nWeb + k
+		apps = append(apps, &core.Application{
+			Name: j.Spec.Name, Kind: core.KindBatch,
+			Job: j.Spec, Done: j.Done, Started: j.Started,
+			AntiCollocate: j.Spec.AntiCollocate,
+		})
+		lastNodes[idx] = -1
+		if j.LastNode != scheduler.NoNode {
+			if dense, ok := toDense[j.LastNode]; ok {
+				lastNodes[idx] = dense
+			}
+		}
+		if j.Node != scheduler.NoNode {
+			if dense, ok := toDense[j.Node]; ok {
+				current.Add(idx, dense)
+			}
+		}
+	}
+
+	problem := &core.Problem{
+		Cluster:           cl,
+		Now:               now,
+		Cycle:             r.cfg.CycleSeconds,
+		Apps:              apps,
+		Current:           current,
+		LastNode:          lastNodes,
+		Costs:             r.cfg.Costs,
+		Levels:            r.cfg.Dynamic.Levels,
+		ExactHypothetical: r.cfg.Dynamic.ExactHypothetical,
+		Epsilon:           r.cfg.Dynamic.Epsilon,
+		MaxPasses:         r.cfg.Dynamic.MaxPasses,
+	}
+	res, err := core.Optimize(problem)
+	if err != nil {
+		return 0, err
+	}
+
+	// Persist web placement and record web series.
+	for i := range r.cfg.WebApps {
+		nodes := res.Placement.NodesOf(i)
+		orig := make([]cluster.NodeID, 0, len(nodes))
+		for _, nd := range nodes {
+			orig = append(orig, toOriginal[nd])
+		}
+		r.webPlacement[i] = orig
+		r.webAlloc[i].Add(now, res.Eval.PerApp[i])
+		r.webUtil[i].Add(now, res.Eval.Utilities[i])
+	}
+
+	// Apply job assignments.
+	var asg []scheduler.Assignment
+	for k, j := range live {
+		idx := nWeb + k
+		nodes := res.Placement.NodesOf(idx)
+		if len(nodes) == 0 {
+			continue
+		}
+		asg = append(asg, scheduler.Assignment{
+			Job:      j,
+			Node:     toOriginal[nodes[0]],
+			SpeedMHz: res.Eval.PerApp[idx],
+		})
+	}
+	changed := scheduler.Apply(now, live, asg, r.cfg.Costs, r.actions)
+
+	r.batchAlloc.Add(now, res.Eval.OmegaG)
+	// The batch utilities in the evaluation are exactly the mean
+	// hypothetical relative performance the paper plots.
+	var sum float64
+	count := 0
+	for idx := nWeb; idx < len(apps); idx++ {
+		sum += res.Eval.Utilities[idx]
+		count++
+	}
+	if count > 0 {
+		r.hypoUtil.Add(now, sum/float64(count))
+	}
+	return changed, nil
+}
+
+// recordHypothetical computes the mean hypothetical relative performance
+// for the batch workload under any policy, making policies comparable on
+// the paper's metric.
+func (r *Runner) recordHypothetical(now float64, live []*scheduler.Job, omegaG float64) {
+	horizon := now + r.cfg.CycleSeconds
+	states := make([]batch.State, 0, len(live))
+	for _, j := range live {
+		done := j.Done
+		if j.Status == scheduler.Running && j.SpeedMHz > 0 {
+			dt := r.cfg.CycleSeconds
+			if j.BlockedUntil > now {
+				dt -= j.BlockedUntil - now
+			}
+			if dt > 0 {
+				done, _ = j.Spec.Advance(done, j.SpeedMHz, dt)
+			}
+		}
+		if j.Spec.Remaining(done) > 0 {
+			states = append(states, batch.State{Spec: j.Spec, Done: done})
+		}
+	}
+	if len(states) == 0 {
+		return
+	}
+	h, err := batch.NewHypothetical(horizon, states, nil)
+	if err != nil {
+		return
+	}
+	r.hypoUtil.Add(now, batch.Mean(h.Predict(omegaG)))
+}
+
+// scheduleCompletions (re)schedules exact completion events for running
+// jobs.
+func (r *Runner) scheduleCompletions(now float64) {
+	for j, h := range r.finishes {
+		r.sim.Cancel(h)
+		delete(r.finishes, j)
+	}
+	for _, j := range r.jobs {
+		if j.Status != scheduler.Running {
+			continue
+		}
+		ft := j.FinishTime()
+		if math.IsInf(ft, 1) {
+			continue
+		}
+		if ft < now {
+			ft = now
+		}
+		job := j
+		h, err := r.sim.At(sim.Time(ft), func(t sim.Time) {
+			job.AdvanceTo(t.Seconds())
+			delete(r.finishes, job)
+		})
+		if err == nil {
+			r.finishes[job] = h
+		}
+	}
+}
+
+// Now returns the current virtual time.
+func (r *Runner) Now() float64 { return r.sim.Now().Seconds() }
+
+// Jobs returns the runtime records of all submitted jobs.
+func (r *Runner) Jobs() []*scheduler.Job {
+	out := make([]*scheduler.Job, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// OnTimeRate returns the fraction of submitted jobs that completed by
+// their deadline.
+func (r *Runner) OnTimeRate() float64 {
+	if len(r.jobs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, j := range r.jobs {
+		if j.MetGoal() {
+			met++
+		}
+	}
+	return float64(met) / float64(len(r.jobs))
+}
+
+// TotalChanges returns the number of disruptive placement changes
+// (suspends, resumes, migrations) over the run — the paper's Figure 4.
+func (r *Runner) TotalChanges() int { return r.totalChanges }
+
+// Actions returns the per-action counters.
+func (r *Runner) Actions() *metrics.Counter { return r.actions }
+
+// HypotheticalUtility returns the mean-hypothetical-utility series
+// (Figures 2 and 6).
+func (r *Runner) HypotheticalUtility() *metrics.Series { return r.hypoUtil }
+
+// BatchAllocation returns the aggregate batch CPU series (Figure 7).
+func (r *Runner) BatchAllocation() *metrics.Series { return r.batchAlloc }
+
+// WebUtility returns the utility series of web app i (Figure 6).
+func (r *Runner) WebUtility(i int) *metrics.Series {
+	if i < 0 || i >= len(r.webUtil) {
+		return metrics.NewSeries("missing")
+	}
+	return r.webUtil[i]
+}
+
+// WebAllocation returns the allocation series of web app i (Figure 7).
+func (r *Runner) WebAllocation(i int) *metrics.Series {
+	if i < 0 || i >= len(r.webAlloc) {
+		return metrics.NewSeries("missing")
+	}
+	return r.webAlloc[i]
+}
+
+// QueueLength returns the queued-jobs series.
+func (r *Runner) QueueLength() *metrics.Series { return r.queueLen }
+
+// CompletionUtilities returns (time, utility) samples at each job's
+// completion — the "actual relative performance at completion" series of
+// Figure 2.
+func (r *Runner) CompletionUtilities() []metrics.Point {
+	var out []metrics.Point
+	for _, j := range r.jobs {
+		if j.Status == scheduler.Completed {
+			out = append(out, metrics.Point{
+				T: j.CompletedAt,
+				V: j.Spec.UtilityAtCompletion(j.CompletedAt),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/rpf"
+)
+
+// starvationScenario builds the configuration from the paper's Section 2
+// argument: one application whose goal is already blown competes with
+// healthy ones for a single node. An aggregate-utility maximizer starves
+// the hopeless one; the max-min extension does not.
+func starvationScenario(t *testing.T) *Problem {
+	t.Helper()
+	cl, err := cluster.Uniform(1, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	// The hopeless job needs 200 s at full speed with a goal of 10 s.
+	hopeless := batchApp("hopeless", 100000, 500, 750, 0, 10)
+	// Two healthy jobs; together they fill the node's memory, so running
+	// both excludes the hopeless one.
+	healthy1 := batchApp("healthy1", 2000, 500, 625, 0, 60)
+	healthy2 := batchApp("healthy2", 2000, 500, 625, 0, 60)
+	return &Problem{
+		Cluster: cl, Cycle: 1,
+		Apps:              []*Application{hopeless, healthy1, healthy2},
+		Costs:             cluster.FreeCostModel(),
+		ExactHypothetical: true,
+	}
+}
+
+func TestMaxMinServesTheWorst(t *testing.T) {
+	p := starvationScenario(t)
+	res := mustOptimize(t, p)
+	if !res.Placement.Placed(0) {
+		t.Fatalf("max-min must run the worst-off job; placement %v / %v / %v",
+			res.Placement.NodesOf(0), res.Placement.NodesOf(1), res.Placement.NodesOf(2))
+	}
+}
+
+func TestAnnealingStarvesTheWorst(t *testing.T) {
+	p := starvationScenario(t)
+	res, err := OptimizeAnnealing(p, AnnealingOptions{Seed: 1, Iterations: 3000})
+	if err != nil {
+		t.Fatalf("OptimizeAnnealing: %v", err)
+	}
+	// The aggregate objective prefers the two healthy jobs (their summed
+	// utility beats hopeless + one healthy).
+	if res.Placement.Placed(0) {
+		t.Fatal("aggregate-utility annealing unexpectedly ran the hopeless job")
+	}
+	if !res.Placement.Placed(1) || !res.Placement.Placed(2) {
+		t.Fatalf("annealing should run both healthy jobs: %v / %v",
+			res.Placement.NodesOf(1), res.Placement.NodesOf(2))
+	}
+}
+
+func TestAnnealingFindsObviousPlacement(t *testing.T) {
+	// Sanity: with abundant capacity, annealing places everything.
+	cl, err := cluster.Uniform(3, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	apps := []*Application{
+		batchApp("a", 4000, 1000, 750, 0, 30),
+		batchApp("b", 4000, 1000, 750, 0, 30),
+		batchApp("c", 4000, 1000, 750, 0, 30),
+	}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: apps, Costs: cluster.FreeCostModel()}
+	res, err := OptimizeAnnealing(p, AnnealingOptions{Seed: 7})
+	if err != nil {
+		t.Fatalf("OptimizeAnnealing: %v", err)
+	}
+	for i := range apps {
+		if !res.Placement.Placed(i) {
+			t.Fatalf("app %d unplaced with free capacity", i)
+		}
+	}
+}
+
+func TestAnnealingDeterministicPerSeed(t *testing.T) {
+	p1 := starvationScenario(t)
+	p2 := starvationScenario(t)
+	r1, err := OptimizeAnnealing(p1, AnnealingOptions{Seed: 42, Iterations: 500})
+	if err != nil {
+		t.Fatalf("OptimizeAnnealing: %v", err)
+	}
+	r2, err := OptimizeAnnealing(p2, AnnealingOptions{Seed: 42, Iterations: 500})
+	if err != nil {
+		t.Fatalf("OptimizeAnnealing: %v", err)
+	}
+	if r1.Placement.Changes(r2.Placement) != 0 {
+		t.Fatal("annealing not deterministic for a fixed seed")
+	}
+}
+
+func TestAggregateSoftensSentinel(t *testing.T) {
+	ev := &Evaluation{Utilities: []float64{rpf.MinUtility, 0.5}}
+	got := aggregate(ev)
+	if got < -20 || got > 0 {
+		t.Fatalf("aggregate = %v, want softened sentinel (≈ -9.5)", got)
+	}
+}
+
+func TestAnnealingValidates(t *testing.T) {
+	if _, err := OptimizeAnnealing(&Problem{}, AnnealingOptions{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"dynplace/internal/cluster"
+)
+
+func TestAntiCollocationSeparatesJobs(t *testing.T) {
+	cl, err := cluster.Uniform(2, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	a.AntiCollocate = []string{"b"}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Placement.Placed(0) || !res.Placement.Placed(1) {
+		t.Fatalf("both jobs fit on separate nodes: %v / %v",
+			res.Placement.NodesOf(0), res.Placement.NodesOf(1))
+	}
+	if res.Placement.NodesOf(0)[0] == res.Placement.NodesOf(1)[0] {
+		t.Fatal("anti-collocated jobs share a node")
+	}
+}
+
+func TestAntiCollocationIsSymmetric(t *testing.T) {
+	// Only b declares the conflict; a must still avoid b.
+	cl, err := cluster.Uniform(1, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	b.AntiCollocate = []string{"a"}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	placed := 0
+	for i := 0; i < 2; i++ {
+		if res.Placement.Placed(i) {
+			placed++
+		}
+	}
+	if placed != 1 {
+		t.Fatalf("one node, conflicting pair: placed = %d, want 1", placed)
+	}
+}
+
+func TestAntiCollocationEvaluationRejects(t *testing.T) {
+	cl, err := cluster.Uniform(1, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	a.AntiCollocate = []string{"b"}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Costs: cluster.FreeCostModel()}
+	pl := NewPlacement(2)
+	pl.Add(0, 0)
+	pl.Add(1, 0)
+	ev := mustEval(t, p, pl)
+	if ev.Feasible {
+		t.Fatal("conflicting placement evaluated feasible")
+	}
+}
+
+func TestAntiCollocationRepair(t *testing.T) {
+	// A pre-existing violating placement must be repaired.
+	cl, err := cluster.Uniform(2, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	a.AntiCollocate = []string{"b"}
+	cur := NewPlacement(2)
+	cur.Add(0, 0)
+	cur.Add(1, 0)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Current: cur, Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Repaired {
+		t.Fatal("violating placement not repaired")
+	}
+	if res.Placement.Placed(0) && res.Placement.Placed(1) &&
+		res.Placement.NodesOf(0)[0] == res.Placement.NodesOf(1)[0] {
+		t.Fatal("conflict survives repair")
+	}
+}
+
+func TestAntiCollocationWebVsBatch(t *testing.T) {
+	// A web app that refuses to share nodes with a noisy batch job.
+	cl, err := cluster.Uniform(2, 20000, 16000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	w := webApp("latency-critical")
+	w.AntiCollocate = []string{"noisy"}
+	noisy := batchApp("noisy", 40000, 10000, 4000, 0, 100)
+	p := &Problem{Cluster: cl, Cycle: 60, Apps: []*Application{w, noisy},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	for _, nd := range res.Placement.NodesOf(0) {
+		if res.Placement.Has(1, nd) {
+			t.Fatalf("web and noisy batch share node %d", nd)
+		}
+	}
+	if !res.Placement.Placed(1) {
+		t.Fatal("noisy job should still run on the other node")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/rpf"
+)
+
+// Evaluate assesses a candidate placement: it solves the CPU distribution
+// (Section 3.2's load matrix L), advances every placed job by its
+// allocation over the next cycle (charging placement-action costs against
+// the job's productive time), and predicts each application's relative
+// performance — batch jobs through the hypothetical RPF at now+T with
+// aggregate allocation ω_g (Section 4.2), web applications through the
+// queueing model.
+func Evaluate(p *Problem, pl *Placement) (*Evaluation, error) {
+	if pl == nil || pl.Apps() != len(p.Apps) {
+		return nil, fmt.Errorf("%w: placement/app mismatch", ErrBadProblem)
+	}
+	al := newAllocator(p, pl)
+	perApp, shares, ok := al.solve()
+	if !ok {
+		return &Evaluation{Feasible: false}, nil
+	}
+
+	ev := &Evaluation{
+		Feasible:  true,
+		PerApp:    perApp,
+		WebShares: shares,
+		Utilities: make([]float64, len(p.Apps)),
+	}
+
+	horizon := p.Now + p.Cycle
+	states := make([]batch.State, 0, len(p.Apps))
+	stateApp := make([]int, 0, len(p.Apps))
+	completed := make(map[int]float64) // app -> completion time within cycle
+
+	for idx, a := range p.Apps {
+		if a.Kind != KindBatch {
+			continue
+		}
+		if a.Job.Remaining(a.Done) <= 0 {
+			// Completed before this cycle: it demands nothing and cannot
+			// be helped, so it must not drag the objective. The control
+			// loop retires such jobs; this guard covers the boundary.
+			ev.Utilities[idx] = rpf.MaxUtility
+			continue
+		}
+		done := a.Done
+		delay := 0.0
+		if pl.Placed(idx) && perApp[idx] > 0 {
+			ev.OmegaG += perApp[idx]
+			cost := actionCost(p, idx, pl.NodesOf(idx)[0])
+			dt := p.Cycle - cost
+			if dt > 0 {
+				newDone, idle := a.Job.Advance(done, perApp[idx], dt)
+				done = newDone
+				if a.Job.Remaining(done) <= 0 {
+					completed[idx] = p.Now + cost + (dt - idle)
+					continue
+				}
+			}
+		} else {
+			delay = restartDelay(p, idx, pl)
+		}
+		states = append(states, batch.State{Spec: a.Job, Done: done, Delay: delay})
+		stateApp = append(stateApp, idx)
+	}
+
+	var preds []batch.Prediction
+	if len(states) > 0 {
+		h, err := batch.NewHypothetical(horizon, states, p.Levels)
+		if err != nil {
+			return nil, fmt.Errorf("core: hypothetical: %w", err)
+		}
+		if p.ExactHypothetical {
+			preds = h.PredictExact(ev.OmegaG)
+		} else {
+			preds = h.Predict(ev.OmegaG)
+		}
+	}
+
+	for i, app := range stateApp {
+		ev.Utilities[app] = preds[i].Utility
+	}
+	for app, t := range completed {
+		ev.Utilities[app] = p.Apps[app].Job.UtilityAtCompletion(t)
+	}
+	for idx, a := range p.Apps {
+		if a.Kind != KindWeb {
+			continue
+		}
+		if !pl.Placed(idx) {
+			ev.Utilities[idx] = rpf.MinUtility
+			continue
+		}
+		ev.Utilities[idx] = a.Web.Utility(perApp[idx])
+	}
+	ev.Vector = rpf.NewVector(ev.Utilities)
+	return ev, nil
+}
+
+// restartDelay returns the placement-action time a currently-unplaced (in
+// the candidate) job will pay before it can execute again: the suspend it
+// is about to undergo plus the eventual resume if the candidate evicts it,
+// the resume alone if it is already suspended, or the boot if it has never
+// started. Charging this into the hypothetical prediction makes
+// suspensions bear their true cost, so utility-neutral rotations of
+// identical jobs are never worth a reconfiguration (the paper observes
+// none in Experiment One).
+func restartDelay(p *Problem, app int, pl *Placement) float64 {
+	a := p.Apps[app]
+	footprint := a.MemoryMB()
+	switch {
+	case p.Current != nil && p.Current.Placed(app) && !pl.Placed(app):
+		return p.Costs.Suspend(footprint) + p.Costs.Resume(footprint)
+	case a.Started:
+		return p.Costs.Resume(footprint)
+	default:
+		return p.Costs.Boot()
+	}
+}
+
+// actionCost returns the virtual-time cost incurred before the job can run
+// on node target next cycle, given its current placement.
+func actionCost(p *Problem, app int, target cluster.NodeID) float64 {
+	a := p.Apps[app]
+	footprint := a.MemoryMB()
+	cur := p.Current
+	if cur != nil && cur.Placed(app) {
+		if cur.Has(app, target) {
+			return 0 // keeps running in place
+		}
+		return p.Costs.Migrate(footprint) // live migration
+	}
+	if !a.Started {
+		return p.Costs.Boot()
+	}
+	// Previously suspended: resuming in place is cheaper than moving.
+	last := cluster.NodeID(-1)
+	if p.LastNode != nil && app < len(p.LastNode) {
+		last = p.LastNode[app]
+	}
+	if last == target {
+		return p.Costs.Resume(footprint)
+	}
+	return p.Costs.Migrate(footprint) + p.Costs.Resume(footprint)
+}

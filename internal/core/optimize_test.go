@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/txn"
+)
+
+func figure1Problem(scenario int, now float64, apps []*Application, cur *Placement) *Problem {
+	_ = scenario
+	cl, err := cluster.Uniform(1, 1000, 2000)
+	if err != nil {
+		panic(err)
+	}
+	return &Problem{
+		Cluster:           cl,
+		Now:               now,
+		Cycle:             1,
+		Apps:              apps,
+		Current:           cur,
+		Costs:             cluster.FreeCostModel(),
+		ExactHypothetical: true,
+	}
+}
+
+func mustOptimize(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return res
+}
+
+// TestFigure1Scenario1 walks the worked example of Section 4.3, Scenario
+// 1, cycle by cycle, asserting the paper's decisions:
+//
+//	cycle 1 (t=0): J1 placed alone at full speed;
+//	cycle 2 (t=1): J2 arrives; both configurations are worth ≈0.7, so the
+//	               algorithm keeps J1 at 1000 MHz (no placement change);
+//	cycle 3 (t=2): J3 arrives with a goal factor of 1; it must start
+//	               immediately; J1 keeps running and J2 stays queued.
+func TestFigure1Scenario1(t *testing.T) {
+	j1 := batchApp("J1", 4000, 1000, 750, 0, 20)
+	j2 := batchApp("J2", 2000, 500, 750, 1, 17)
+	j3 := batchApp("J3", 4000, 500, 750, 2, 10)
+
+	// Cycle 1: only J1.
+	p := figure1Problem(1, 0, []*Application{j1}, nil)
+	res := mustOptimize(t, p)
+	if !res.Placement.Placed(0) {
+		t.Fatal("cycle 1: J1 not placed")
+	}
+	if math.Abs(res.Eval.PerApp[0]-1000) > 1 {
+		t.Fatalf("cycle 1: J1 allocation = %v, want 1000", res.Eval.PerApp[0])
+	}
+	if math.Abs(res.Eval.Utilities[0]-0.8) > 0.01 {
+		t.Fatalf("cycle 1: J1 utility = %v, want 0.8 (paper)", res.Eval.Utilities[0])
+	}
+
+	// Cycle 2: J2 arrives. J1 has run 1 s at 1000 MHz.
+	j1.Done = 1000
+	j1.Started = true
+	cur := NewPlacement(2)
+	cur.Add(0, 0)
+	p = figure1Problem(1, 1, []*Application{j1, j2}, cur)
+	res = mustOptimize(t, p)
+	if res.Changes != 0 {
+		t.Fatalf("cycle 2 (S1): made %d changes, paper makes none (P2 chosen)", res.Changes)
+	}
+	if res.Placement.Placed(1) {
+		t.Fatal("cycle 2 (S1): J2 was started; paper keeps it queued")
+	}
+	// Both jobs evaluate to ≈0.7 (J2 capped at 11/16 = 0.6875).
+	if math.Abs(res.Eval.Utilities[0]-0.70) > 0.01 {
+		t.Fatalf("cycle 2 (S1): J1 utility = %v, want ≈0.70", res.Eval.Utilities[0])
+	}
+	if math.Abs(res.Eval.Utilities[1]-0.6875) > 0.01 {
+		t.Fatalf("cycle 2 (S1): J2 utility = %v, want ≈0.69", res.Eval.Utilities[1])
+	}
+
+	// Cycle 3: J3 arrives; J1 has run another second at 1000 MHz.
+	j1.Done = 2000
+	cur = NewPlacement(3)
+	cur.Add(0, 0)
+	p = figure1Problem(1, 2, []*Application{j1, j2, j3}, cur)
+	res = mustOptimize(t, p)
+	if !res.Placement.Placed(2) {
+		t.Fatal("cycle 3 (S1): J3 must start immediately (goal factor 1)")
+	}
+	if !res.Placement.Placed(0) {
+		t.Fatal("cycle 3 (S1): J1 should keep running")
+	}
+	if res.Placement.Placed(1) {
+		t.Fatal("cycle 3 (S1): J2 should stay queued")
+	}
+	// J3 runs flat out at 500 MHz and lands exactly on its goal (u≈0).
+	if math.Abs(res.Eval.PerApp[2]-500) > 1 {
+		t.Fatalf("cycle 3 (S1): J3 allocation = %v, want 500", res.Eval.PerApp[2])
+	}
+	if math.Abs(res.Eval.Utilities[2]-0) > 0.01 {
+		t.Fatalf("cycle 3 (S1): J3 utility = %v, want ≈0", res.Eval.Utilities[2])
+	}
+}
+
+// TestFigure1Scenario2 repeats the walk for Scenario 2 (J2's goal
+// tightened to 13): now the paper's algorithm behaves differently —
+// cycle 2 starts J2 alongside J1 (equalizing at ≈0.65), and cycle 3
+// suspends J1 to run J2 and J3.
+func TestFigure1Scenario2(t *testing.T) {
+	j1 := batchApp("J1", 4000, 1000, 750, 0, 20)
+	j2 := batchApp("J2", 2000, 500, 750, 1, 13)
+	j3 := batchApp("J3", 4000, 500, 750, 2, 10)
+
+	// Cycle 2 (cycle 1 is identical to S1): J2 arrives.
+	j1.Done = 1000
+	j1.Started = true
+	cur := NewPlacement(2)
+	cur.Add(0, 0)
+	p := figure1Problem(2, 1, []*Application{j1, j2}, cur)
+	res := mustOptimize(t, p)
+	if !res.Placement.Placed(1) {
+		t.Fatal("cycle 2 (S2): J2 must be started (paper chooses P1)")
+	}
+	if !res.Placement.Placed(0) {
+		t.Fatal("cycle 2 (S2): J1 must keep running")
+	}
+	// Equalized at ≈0.65/0.65 (paper displays 0.65, 0.65).
+	for i := 0; i < 2; i++ {
+		if math.Abs(res.Eval.Utilities[i]-0.657) > 0.015 {
+			t.Fatalf("cycle 2 (S2): utility[%d] = %v, want ≈0.65", i, res.Eval.Utilities[i])
+		}
+	}
+
+	// Cycle 3: J3 arrives. Apply the chosen allocation for one cycle.
+	allocJ1, allocJ2 := res.Eval.PerApp[0], res.Eval.PerApp[1]
+	j1.Done, _ = j1.Job.Advance(j1.Done, allocJ1, 1)
+	j2.Done, _ = j2.Job.Advance(j2.Done, allocJ2, 1)
+	j2.Started = true
+	cur = NewPlacement(3)
+	cur.Add(0, 0)
+	cur.Add(1, 0)
+	p = figure1Problem(2, 2, []*Application{j1, j2, j3}, cur)
+	res = mustOptimize(t, p)
+	if !res.Placement.Placed(2) {
+		t.Fatal("cycle 3 (S2): J3 must start immediately")
+	}
+	if res.Placement.Placed(0) {
+		t.Fatal("cycle 3 (S2): J1 should be suspended (paper suspends J1)")
+	}
+	if !res.Placement.Placed(1) {
+		t.Fatal("cycle 3 (S2): J2 should keep running")
+	}
+}
+
+func TestOptimizeEmptySystem(t *testing.T) {
+	cl, err := cluster.Uniform(2, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	p := &Problem{Cluster: cl, Cycle: 1}
+	res := mustOptimize(t, p)
+	if res.Changes != 0 || res.Placement.Apps() != 0 {
+		t.Fatalf("empty system produced changes: %+v", res)
+	}
+}
+
+func TestOptimizePlacesWebEverywhereUseful(t *testing.T) {
+	// A web app needing more than one node's CPU must be replicated.
+	cl, err := cluster.Uniform(3, 4000, 8000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	w := &Application{
+		Name: "web", Kind: KindWeb,
+		Web: &txn.App{
+			Name: "web", ArrivalRate: 60, DemandPerRequest: 100,
+			BaseLatency: 0.02, GoalResponseTime: 0.2,
+			MaxPowerMHz: 10000, MemoryMB: 1000,
+		},
+	}
+	p := &Problem{Cluster: cl, Cycle: 60, Apps: []*Application{w},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if got := len(res.Placement.NodesOf(0)); got < 3 {
+		t.Fatalf("web instances = %d, want 3 (needs 10000 MHz over 4000 MHz nodes)", got)
+	}
+	if res.Eval.PerApp[0] < 9999 {
+		t.Fatalf("web allocation = %v, want ≈10000", res.Eval.PerApp[0])
+	}
+}
+
+func TestOptimizeRespectsPinning(t *testing.T) {
+	cl, err := cluster.Uniform(2, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	j := batchApp("pinned", 4000, 1000, 750, 0, 20)
+	j.PinnedNodes = []cluster.NodeID{1}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{j},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Placement.Has(0, 1) || res.Placement.Has(0, 0) {
+		t.Fatalf("pinned job placed on %v, want node 1 only", res.Placement.NodesOf(0))
+	}
+}
+
+func TestOptimizeIdempotentWhenSettled(t *testing.T) {
+	// Re-running the optimizer on its own output must make no changes.
+	cl, err := cluster.Uniform(2, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	apps := []*Application{
+		batchApp("a", 4000, 1000, 750, 0, 30),
+		batchApp("b", 4000, 1000, 750, 0, 30),
+	}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: apps, Costs: cluster.FreeCostModel()}
+	res1 := mustOptimize(t, p)
+	p.Current = res1.Placement
+	res2 := mustOptimize(t, p)
+	if res2.Changes != 0 {
+		t.Fatalf("second optimization made %d changes", res2.Changes)
+	}
+}
+
+func TestRepairAfterNodeLoss(t *testing.T) {
+	// Placement references a node that no longer exists: the optimizer
+	// must recover, evicting the orphan instance and re-placing it.
+	cl, err := cluster.Uniform(2, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	j := batchApp("survivor", 4000, 1000, 750, 0, 30)
+	j.Started = true
+	j.Done = 1000
+	cur := NewPlacement(1)
+	cur.Add(0, 5) // node 5 does not exist
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{j}, Current: cur,
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Repaired {
+		t.Fatal("Repaired not reported")
+	}
+	nodes := res.Placement.NodesOf(0)
+	if len(nodes) != 1 || nodes[0] > 1 {
+		t.Fatalf("job placed on %v, want a live node", nodes)
+	}
+}
+
+func TestRepairMemoryOverload(t *testing.T) {
+	// Three 750 MB jobs crammed onto a 2000 MB node: repair must evict.
+	cl, err := cluster.Uniform(2, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	apps := []*Application{
+		batchApp("a", 4000, 500, 750, 0, 40),
+		batchApp("b", 4000, 500, 750, 0, 40),
+		batchApp("c", 4000, 500, 750, 0, 40),
+	}
+	cur := NewPlacement(3)
+	for i := range apps {
+		cur.Add(i, 0)
+	}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: apps, Current: cur,
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Repaired {
+		t.Fatal("Repaired not reported")
+	}
+	if got := len(res.Placement.OnNode(0)); got > 2 {
+		t.Fatalf("node 0 still hosts %d jobs, max 2 fit", got)
+	}
+	// The optimizer should re-place the evicted job on the empty node.
+	placed := 0
+	for i := range apps {
+		if res.Placement.Placed(i) {
+			placed++
+		}
+	}
+	if placed != 3 {
+		t.Fatalf("placed = %d, want all 3 (node 1 was free)", placed)
+	}
+}
+
+func TestStarvationPrevention(t *testing.T) {
+	// A hopeless job (goal already blown) must not starve others: the
+	// max-min extension keeps improving the rest once the worst is
+	// saturated.
+	cl, err := cluster.Uniform(1, 1000, 2000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	hopeless := batchApp("hopeless", 100000, 500, 750, 0, 10) // needs 200 s, goal 10
+	healthy := batchApp("healthy", 1000, 1000, 750, 0, 30)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{hopeless, healthy},
+		Costs: cluster.FreeCostModel(), ExactHypothetical: true}
+	res := mustOptimize(t, p)
+	if !res.Placement.Placed(0) || !res.Placement.Placed(1) {
+		t.Fatalf("both jobs fit and must be placed: %v / %v",
+			res.Placement.NodesOf(0), res.Placement.NodesOf(1))
+	}
+	// The hopeless job is speed-capped at 500; the healthy job gets the
+	// remaining 500 and a positive utility.
+	if res.Eval.Utilities[1] < 0.5 {
+		t.Fatalf("healthy job utility = %v; starved by the hopeless one", res.Eval.Utilities[1])
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	cl, err := cluster.Uniform(3, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	mkApps := func() []*Application {
+		return []*Application{
+			batchApp("a", 8000, 1000, 1500, 0, 30),
+			batchApp("b", 6000, 1500, 1500, 0, 25),
+			batchApp("c", 9000, 800, 1500, 0, 40),
+			batchApp("d", 3000, 2000, 1500, 0, 15),
+		}
+	}
+	p1 := &Problem{Cluster: cl, Cycle: 5, Apps: mkApps(), Costs: cluster.FreeCostModel()}
+	p2 := &Problem{Cluster: cl, Cycle: 5, Apps: mkApps(), Costs: cluster.FreeCostModel()}
+	r1 := mustOptimize(t, p1)
+	r2 := mustOptimize(t, p2)
+	if r1.Placement.Changes(r2.Placement) != 0 {
+		t.Fatal("optimizer is nondeterministic")
+	}
+}

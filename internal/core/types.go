@@ -1,0 +1,250 @@
+// Package core implements the Application Placement Controller (APC): the
+// optimizer that, once per control cycle, chooses which application
+// instances run on which nodes and how much CPU each receives, so that
+// the ascending-sorted vector of per-application relative performance is
+// lexicographically maximized (the paper's extension of max-min fairness)
+// while placement changes are kept to a minimum.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/txn"
+)
+
+// Kind distinguishes the two workload classes.
+type Kind int
+
+// Application kinds.
+const (
+	// KindWeb is a transactional application served by a cluster of
+	// instances behind the request router.
+	KindWeb Kind = iota + 1
+	// KindBatch is a long-running job occupying a single node when
+	// placed.
+	KindBatch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWeb:
+		return "web"
+	case KindBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Application is one managed entity: either a transactional application
+// or a batch job, together with its runtime state at the current cycle.
+type Application struct {
+	// Name identifies the application.
+	Name string
+	// Kind selects which of Web or Job is set.
+	Kind Kind
+	// Web holds the transactional model when Kind == KindWeb.
+	Web *txn.App
+	// Job holds the batch profile when Kind == KindBatch.
+	Job *batch.Spec
+	// Done is α*: megacycles the job has completed (batch only).
+	Done float64
+	// Started reports whether the job has ever run (resume vs start).
+	Started bool
+	// PinnedNodes, when non-empty, restricts placement to these nodes.
+	PinnedNodes []cluster.NodeID
+	// AntiCollocate lists application names this one must never share a
+	// node with (the paper's collocation constraints). The relation is
+	// enforced symmetrically regardless of which side declares it.
+	AntiCollocate []string
+}
+
+// conflictsWith reports whether a and b declare an anti-collocation
+// relation (either direction).
+func conflictsWith(a, b *Application) bool {
+	for _, n := range a.AntiCollocate {
+		if n == b.Name {
+			return true
+		}
+	}
+	for _, n := range b.AntiCollocate {
+		if n == a.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrBadApplication reports an inconsistent Application.
+var ErrBadApplication = errors.New("core: invalid application")
+
+// Validate checks the application definition.
+func (a *Application) Validate() error {
+	switch a.Kind {
+	case KindWeb:
+		if a.Web == nil {
+			return fmt.Errorf("%w %q: web kind without model", ErrBadApplication, a.Name)
+		}
+		return a.Web.Validate()
+	case KindBatch:
+		if a.Job == nil {
+			return fmt.Errorf("%w %q: batch kind without job spec", ErrBadApplication, a.Name)
+		}
+		if a.Done < 0 {
+			return fmt.Errorf("%w %q: negative progress", ErrBadApplication, a.Name)
+		}
+		return a.Job.Validate()
+	default:
+		return fmt.Errorf("%w %q: unknown kind %d", ErrBadApplication, a.Name, a.Kind)
+	}
+}
+
+// MemoryMB returns the load-independent footprint of one instance.
+func (a *Application) MemoryMB() float64 {
+	if a.Kind == KindWeb {
+		return a.Web.MemoryMB
+	}
+	return a.Job.MemoryAt(a.Done)
+}
+
+// allows reports whether the application may be placed on the node.
+func (a *Application) allows(n cluster.NodeID) bool {
+	if len(a.PinnedNodes) == 0 {
+		return true
+	}
+	for _, p := range a.PinnedNodes {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Placement is the matrix P: which nodes host an instance of each
+// application. Batch jobs hold at most one instance; web applications at
+// most one instance per node.
+type Placement struct {
+	nodes [][]cluster.NodeID // per app, sorted ascending
+}
+
+// NewPlacement returns an empty placement for numApps applications.
+func NewPlacement(numApps int) *Placement {
+	return &Placement{nodes: make([][]cluster.NodeID, numApps)}
+}
+
+// Clone returns a deep copy.
+func (p *Placement) Clone() *Placement {
+	cp := &Placement{nodes: make([][]cluster.NodeID, len(p.nodes))}
+	for i, ns := range p.nodes {
+		if len(ns) > 0 {
+			cp.nodes[i] = append([]cluster.NodeID(nil), ns...)
+		}
+	}
+	return cp
+}
+
+// Apps returns the number of applications the placement covers.
+func (p *Placement) Apps() int { return len(p.nodes) }
+
+// NodesOf returns the nodes hosting the application (shared slice; do not
+// mutate).
+func (p *Placement) NodesOf(app int) []cluster.NodeID {
+	if app < 0 || app >= len(p.nodes) {
+		return nil
+	}
+	return p.nodes[app]
+}
+
+// Placed reports whether the application has at least one instance.
+func (p *Placement) Placed(app int) bool { return len(p.NodesOf(app)) > 0 }
+
+// Has reports whether the application has an instance on the node.
+func (p *Placement) Has(app int, n cluster.NodeID) bool {
+	for _, x := range p.NodesOf(app) {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Add places an instance of app on node n (idempotent).
+func (p *Placement) Add(app int, n cluster.NodeID) {
+	if app < 0 || app >= len(p.nodes) || p.Has(app, n) {
+		return
+	}
+	ns := append(p.nodes[app], n)
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	p.nodes[app] = ns
+}
+
+// Remove deletes the instance of app on node n if present.
+func (p *Placement) Remove(app int, n cluster.NodeID) {
+	ns := p.nodes[app]
+	for i, x := range ns {
+		if x == n {
+			p.nodes[app] = append(ns[:i:i], ns[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clear removes all instances of app.
+func (p *Placement) Clear(app int) {
+	if app >= 0 && app < len(p.nodes) {
+		p.nodes[app] = nil
+	}
+}
+
+// OnNode returns the applications with an instance on node n.
+func (p *Placement) OnNode(n cluster.NodeID) []int {
+	var out []int
+	for app, ns := range p.nodes {
+		for _, x := range ns {
+			if x == n {
+				out = append(out, app)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Changes counts instance-level differences from another placement:
+// every (app, node) incidence present in exactly one of the two.
+func (p *Placement) Changes(other *Placement) int {
+	n := len(p.nodes)
+	if len(other.nodes) > n {
+		n = len(other.nodes)
+	}
+	count := 0
+	for app := 0; app < n; app++ {
+		var a, b []cluster.NodeID
+		if app < len(p.nodes) {
+			a = p.nodes[app]
+		}
+		if app < len(other.nodes) {
+			b = other.nodes[app]
+		}
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] == b[j]:
+				i++
+				j++
+			case a[i] < b[j]:
+				count++
+				i++
+			default:
+				count++
+				j++
+			}
+		}
+		count += (len(a) - i) + (len(b) - j)
+	}
+	return count
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+	"dynplace/internal/metrics"
+)
+
+// WorkedExampleText runs the Section 4.3 example (Table 1, Figure 1) in
+// both scenarios and renders the cycle-by-cycle decisions: placements,
+// per-job hypothetical utilities and allocations.
+func WorkedExampleText() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — worked example, cycle-by-cycle decisions\n")
+	for scenario := 1; scenario <= 2; scenario++ {
+		fmt.Fprintf(&b, "\nScenario %d:\n", scenario)
+		if err := runWorkedExample(&b, scenario); err != nil {
+			fmt.Fprintf(&b, "  error: %v\n", err)
+		}
+	}
+	return b.String()
+}
+
+func runWorkedExample(b *strings.Builder, scenario int) error {
+	cl, err := cluster.Uniform(1, 1000, 2000)
+	if err != nil {
+		return err
+	}
+	j2Deadline := 17.0
+	if scenario == 2 {
+		j2Deadline = 13
+	}
+	specs := []*batch.Spec{
+		batch.SingleStage("J1", 4000, 1000, 750, 0, 20),
+		batch.SingleStage("J2", 2000, 500, 750, 1, j2Deadline),
+		batch.SingleStage("J3", 4000, 500, 750, 2, 10),
+	}
+	done := make([]float64, len(specs))
+	started := make([]bool, len(specs))
+	var current *core.Placement
+
+	for cycle := 1; cycle <= 3; cycle++ {
+		now := float64(cycle - 1)
+		// Applications present at this cycle.
+		var apps []*core.Application
+		var idxMap []int
+		for i, spec := range specs {
+			if spec.Submit > now {
+				continue
+			}
+			apps = append(apps, &core.Application{
+				Name: spec.Name, Kind: core.KindBatch,
+				Job: spec, Done: done[i], Started: started[i],
+			})
+			idxMap = append(idxMap, i)
+		}
+		problem := &core.Problem{
+			Cluster: cl, Now: now, Cycle: 1,
+			Apps:              apps,
+			Current:           remap(current, idxMap, len(apps)),
+			Costs:             cluster.FreeCostModel(),
+			ExactHypothetical: true,
+		}
+		res, err := core.Optimize(problem)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "  cycle %d (t=%v): ", cycle, now)
+		placedNames := make([]string, 0, len(apps))
+		tb := metrics.NewTable("job", "outstanding", "done", "utility", "speed[MHz]")
+		for k, a := range apps {
+			i := idxMap[k]
+			if res.Placement.Placed(k) {
+				placedNames = append(placedNames,
+					fmt.Sprintf("%s@%.0fMHz", a.Name, res.Eval.PerApp[k]))
+			}
+			tb.AddRow(a.Name, a.Job.Remaining(done[i]), done[i],
+				res.Eval.Utilities[k], res.Eval.PerApp[k])
+			// Advance state for the next cycle.
+			if res.Placement.Placed(k) {
+				newDone, _ := a.Job.Advance(done[i], res.Eval.PerApp[k], 1)
+				done[i] = newDone
+				started[i] = true
+			}
+		}
+		if len(placedNames) == 0 {
+			fmt.Fprintln(b, "nothing placed")
+		} else {
+			fmt.Fprintln(b, strings.Join(placedNames, ", "))
+		}
+		for _, line := range strings.Split(strings.TrimRight(tb.String(), "\n"), "\n") {
+			fmt.Fprintf(b, "    %s\n", line)
+		}
+		current = withWidth(res.Placement, idxMap, len(specs))
+	}
+	return nil
+}
+
+// remap converts a placement over the full spec set into one over the
+// currently-present app subset.
+func remap(full *core.Placement, idxMap []int, apps int) *core.Placement {
+	out := core.NewPlacement(apps)
+	if full == nil {
+		return out
+	}
+	for k, i := range idxMap {
+		for _, nd := range full.NodesOf(i) {
+			out.Add(k, nd)
+		}
+	}
+	return out
+}
+
+// withWidth converts a placement over the present subset back to the
+// full spec set.
+func withWidth(sub *core.Placement, idxMap []int, total int) *core.Placement {
+	out := core.NewPlacement(total)
+	for k, i := range idxMap {
+		for _, nd := range sub.NodesOf(k) {
+			out.Add(i, nd)
+		}
+	}
+	return out
+}

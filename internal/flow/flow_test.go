@@ -1,0 +1,261 @@
+package flow
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustEdge(t *testing.T, g *Network, u, v int, c float64) EdgeRef {
+	t.Helper()
+	ref, err := g.AddEdge(u, v, c)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d,%v): %v", u, v, c, err)
+	}
+	return ref
+}
+
+func TestSimplePath(t *testing.T) {
+	g := NewNetwork(3)
+	mustEdge(t, g, 0, 1, 5)
+	mustEdge(t, g, 1, 2, 3)
+	got, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if got != 3 {
+		t.Fatalf("MaxFlow = %v, want 3", got)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// s=0, a=1, b=2, t=3. Two disjoint paths of 10 and 5, plus a cross
+	// edge enabling 3 more.
+	g := NewNetwork(4)
+	mustEdge(t, g, 0, 1, 10)
+	mustEdge(t, g, 0, 2, 5)
+	mustEdge(t, g, 1, 3, 5)
+	mustEdge(t, g, 1, 2, 15)
+	mustEdge(t, g, 2, 3, 10)
+	got, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if got != 15 {
+		t.Fatalf("MaxFlow = %v, want 15", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewNetwork(4)
+	mustEdge(t, g, 0, 1, 10)
+	mustEdge(t, g, 2, 3, 10)
+	got, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("MaxFlow = %v, want 0", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := NewNetwork(2)
+	if _, err := g.AddEdge(0, 5, 1); !errors.Is(err, ErrBadVertex) {
+		t.Fatalf("bad vertex: err = %v", err)
+	}
+	if _, err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 1, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := g.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Fatal("NaN capacity accepted")
+	}
+	if _, err := g.MaxFlow(0, 0); err == nil {
+		t.Fatal("source==sink accepted")
+	}
+	if _, err := g.MaxFlow(-1, 1); !errors.Is(err, ErrBadVertex) {
+		t.Fatalf("bad source: err = %v", err)
+	}
+}
+
+func TestEdgeFlowReadback(t *testing.T) {
+	g := NewNetwork(3)
+	e01 := mustEdge(t, g, 0, 1, 7)
+	e12 := mustEdge(t, g, 1, 2, 4)
+	if _, err := g.MaxFlow(0, 2); err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if got := g.Flow(e01); got != 4 {
+		t.Fatalf("Flow(0->1) = %v, want 4", got)
+	}
+	if got := g.Flow(e12); got != 4 {
+		t.Fatalf("Flow(1->2) = %v, want 4", got)
+	}
+}
+
+func TestResetAndRetune(t *testing.T) {
+	g := NewNetwork(3)
+	e01 := mustEdge(t, g, 0, 1, 7)
+	mustEdge(t, g, 1, 2, 4)
+	if _, err := g.MaxFlow(0, 2); err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if err := g.SetCapacity(e01, 2); err != nil {
+		t.Fatalf("SetCapacity: %v", err)
+	}
+	g.Reset()
+	got, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatalf("MaxFlow after retune: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("MaxFlow after retune = %v, want 2", got)
+	}
+}
+
+func TestFlowsConservation(t *testing.T) {
+	g := NewNetwork(5)
+	mustEdge(t, g, 0, 1, 8)
+	mustEdge(t, g, 0, 2, 3)
+	mustEdge(t, g, 1, 3, 5)
+	mustEdge(t, g, 2, 3, 5)
+	mustEdge(t, g, 1, 2, 4)
+	mustEdge(t, g, 3, 4, 9)
+	total, err := g.MaxFlow(0, 4)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	checkConservation(t, g, 0, 4, total)
+}
+
+// checkConservation verifies flow conservation at every interior vertex
+// and that net outflow of s equals total.
+func checkConservation(t *testing.T, g *Network, s, sink int, total float64) {
+	t.Helper()
+	net := make(map[int]float64)
+	for _, ef := range g.Flows() {
+		if ef.Flow < -1e-9 || ef.Flow > ef.Cap+1e-9 {
+			t.Fatalf("edge %d->%d flow %v outside [0, %v]", ef.From, ef.To, ef.Flow, ef.Cap)
+		}
+		net[ef.From] += ef.Flow
+		net[ef.To] -= ef.Flow
+	}
+	for v, n := range net {
+		switch v {
+		case s:
+			if math.Abs(n-total) > 1e-6 {
+				t.Fatalf("source net outflow %v, want %v", n, total)
+			}
+		case sink:
+			if math.Abs(n+total) > 1e-6 {
+				t.Fatalf("sink net inflow %v, want %v", -n, total)
+			}
+		default:
+			if math.Abs(n) > 1e-6 {
+				t.Fatalf("vertex %d violates conservation by %v", v, n)
+			}
+		}
+	}
+}
+
+// bruteForceMaxFlow computes max flow on tiny integer-capacity graphs with
+// repeated BFS augmentation (Edmonds-Karp), as an independent oracle.
+func bruteForceMaxFlow(n int, caps map[[2]int]float64, s, t int) float64 {
+	residual := make([][]float64, n)
+	for i := range residual {
+		residual[i] = make([]float64, n)
+	}
+	for k, c := range caps {
+		residual[k[0]][k[1]] += c
+	}
+	var total float64
+	for {
+		// BFS for augmenting path.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] == -1 && residual[u][v] > 1e-9 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		bottleneck := math.Inf(1)
+		for v := t; v != s; v = parent[v] {
+			bottleneck = math.Min(bottleneck, residual[parent[v]][v])
+		}
+		for v := t; v != s; v = parent[v] {
+			residual[parent[v]][v] -= bottleneck
+			residual[v][parent[v]] += bottleneck
+		}
+		total += bottleneck
+	}
+}
+
+// Property: Dinic agrees with Edmonds-Karp on random small graphs, and the
+// returned flow obeys conservation and capacity bounds.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		g := NewNetwork(n)
+		caps := make(map[[2]int]float64)
+		edges := rng.Intn(n * n)
+		for e := 0; e < edges; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(rng.Intn(10))
+			if _, err := g.AddEdge(u, v, c); err != nil {
+				t.Fatalf("AddEdge: %v", err)
+			}
+			caps[[2]int{u, v}] += c
+		}
+		s, sink := 0, n-1
+		got, err := g.MaxFlow(s, sink)
+		if err != nil {
+			t.Fatalf("MaxFlow: %v", err)
+		}
+		want := bruteForceMaxFlow(n, caps, s, sink)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: Dinic = %v, Edmonds-Karp = %v", trial, got, want)
+		}
+		checkConservation(t, g, s, sink, got)
+	}
+}
+
+func BenchmarkBipartiteAllocationShape(b *testing.B) {
+	// The allocation solver's shape: source → 60 apps → instances on 25
+	// nodes → sink.
+	const apps, nodes = 60, 25
+	for i := 0; i < b.N; i++ {
+		g := NewNetwork(2 + apps + nodes)
+		s, t := 0, 1+apps+nodes
+		for a := 0; a < apps; a++ {
+			_, _ = g.AddEdge(s, 1+a, 1000)
+			_, _ = g.AddEdge(1+a, 1+apps+(a%nodes), 1000)
+			_, _ = g.AddEdge(1+a, 1+apps+((a+7)%nodes), 1000)
+		}
+		for n := 0; n < nodes; n++ {
+			_, _ = g.AddEdge(1+apps+n, t, 2500)
+		}
+		if _, err := g.MaxFlow(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package jobprof implements the job workload profiler: it estimates a
+// job's multi-stage resource usage profile (the batch.Stage sequence the
+// placement controller consumes) from observations of historical runs.
+//
+// The paper takes job profiles as given at submission time, produced by
+// a "job workload profiler ... based on historical data analysis", and
+// names on-the-fly profile generation as future work. This package
+// provides that component: given one or more recorded runs — time series
+// of CPU and memory consumption — it segments each run into stages at
+// memory-footprint change points, integrates CPU work per stage, and
+// averages across runs.
+package jobprof
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dynplace/internal/batch"
+)
+
+// Observation is one sample of a running job's resource consumption.
+type Observation struct {
+	// T is the sample time in seconds since the job started.
+	T float64
+	// CPUMHz is the observed CPU consumption rate.
+	CPUMHz float64
+	// MemoryMB is the observed resident memory.
+	MemoryMB float64
+}
+
+// Run is one recorded execution, sampled over time.
+type Run []Observation
+
+// Profiler estimates job profiles from recorded runs. The zero value
+// uses sensible defaults.
+type Profiler struct {
+	// MemoryThresholdMB is the footprint change that starts a new stage
+	// (default 256 MB).
+	MemoryThresholdMB float64
+	// SpeedQuantile picks the per-stage maximum speed from the observed
+	// CPU rates, default 0.95 (robust to sampling spikes).
+	SpeedQuantile float64
+}
+
+// ErrNoData reports insufficient observations.
+var ErrNoData = errors.New("jobprof: not enough observations")
+
+func (p *Profiler) memThreshold() float64 {
+	if p.MemoryThresholdMB > 0 {
+		return p.MemoryThresholdMB
+	}
+	return 256
+}
+
+func (p *Profiler) speedQuantile() float64 {
+	if p.SpeedQuantile > 0 && p.SpeedQuantile <= 1 {
+		return p.SpeedQuantile
+	}
+	return 0.95
+}
+
+// EstimateStages segments one run into stages. Observations must carry
+// nonnegative readings; they are sorted by time.
+func (p *Profiler) EstimateStages(run Run) ([]batch.Stage, error) {
+	if len(run) < 2 {
+		return nil, fmt.Errorf("%w: have %d samples, need at least 2", ErrNoData, len(run))
+	}
+	obs := make(Run, len(run))
+	copy(obs, run)
+	sort.Slice(obs, func(i, j int) bool { return obs[i].T < obs[j].T })
+	for i, o := range obs {
+		if o.CPUMHz < 0 || o.MemoryMB < 0 || math.IsNaN(o.CPUMHz) || math.IsNaN(o.MemoryMB) {
+			return nil, fmt.Errorf("jobprof: invalid sample %d (%+v)", i, o)
+		}
+	}
+
+	// Segment at memory change points.
+	type segment struct {
+		start, end int // half-open [start, end) index range
+	}
+	var segs []segment
+	segStart := 0
+	baseMem := obs[0].MemoryMB
+	for i := 1; i < len(obs); i++ {
+		if math.Abs(obs[i].MemoryMB-baseMem) > p.memThreshold() {
+			segs = append(segs, segment{start: segStart, end: i})
+			segStart = i
+			baseMem = obs[i].MemoryMB
+		}
+	}
+	segs = append(segs, segment{start: segStart, end: len(obs)})
+
+	stages := make([]batch.Stage, 0, len(segs))
+	for _, sg := range segs {
+		stage, ok := p.summarize(obs, sg.start, sg.end)
+		if ok {
+			stages = append(stages, stage)
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("%w: no stage accumulated positive work", ErrNoData)
+	}
+	return stages, nil
+}
+
+// summarize integrates one segment into a stage.
+func (p *Profiler) summarize(obs Run, start, end int) (batch.Stage, bool) {
+	// Trapezoidal integration of CPU rate over time; the segment's right
+	// edge extends to the first sample of the next segment when present.
+	var work float64
+	speeds := make([]float64, 0, end-start)
+	var maxMem float64
+	last := end
+	if last >= len(obs) {
+		last = len(obs) - 1
+	}
+	for i := start; i < end; i++ {
+		speeds = append(speeds, obs[i].CPUMHz)
+		if obs[i].MemoryMB > maxMem {
+			maxMem = obs[i].MemoryMB
+		}
+		next := i + 1
+		if next >= len(obs) {
+			break
+		}
+		dt := obs[next].T - obs[i].T
+		if dt <= 0 {
+			continue
+		}
+		work += dt * (obs[i].CPUMHz + obs[next].CPUMHz) / 2
+	}
+	if work <= 0 {
+		return batch.Stage{}, false
+	}
+	sort.Float64s(speeds)
+	idx := int(float64(len(speeds)-1) * p.speedQuantile())
+	maxSpeed := speeds[idx]
+	if maxSpeed <= 0 {
+		return batch.Stage{}, false
+	}
+	return batch.Stage{
+		WorkMcycles: work,
+		MaxSpeedMHz: maxSpeed,
+		MemoryMB:    maxMem,
+	}, true
+}
+
+// Estimate averages the stage profiles of several runs. Runs whose
+// stage count differs from the majority are discarded; the survivors'
+// stages are averaged field-wise. It returns the estimated profile and
+// the number of runs used.
+func (p *Profiler) Estimate(runs []Run) ([]batch.Stage, int, error) {
+	if len(runs) == 0 {
+		return nil, 0, ErrNoData
+	}
+	var profiles [][]batch.Stage
+	for _, r := range runs {
+		stages, err := p.EstimateStages(r)
+		if err != nil {
+			continue
+		}
+		profiles = append(profiles, stages)
+	}
+	if len(profiles) == 0 {
+		return nil, 0, fmt.Errorf("%w: no usable runs", ErrNoData)
+	}
+	// Majority stage count.
+	counts := make(map[int]int)
+	for _, pr := range profiles {
+		counts[len(pr)]++
+	}
+	bestCount, bestVotes := 0, 0
+	for c, v := range counts {
+		if v > bestVotes || (v == bestVotes && c < bestCount) {
+			bestCount, bestVotes = c, v
+		}
+	}
+	used := 0
+	avg := make([]batch.Stage, bestCount)
+	for _, pr := range profiles {
+		if len(pr) != bestCount {
+			continue
+		}
+		used++
+		for i, st := range pr {
+			avg[i].WorkMcycles += st.WorkMcycles
+			avg[i].MaxSpeedMHz += st.MaxSpeedMHz
+			avg[i].MemoryMB += st.MemoryMB
+		}
+	}
+	for i := range avg {
+		avg[i].WorkMcycles /= float64(used)
+		avg[i].MaxSpeedMHz /= float64(used)
+		avg[i].MemoryMB /= float64(used)
+	}
+	return avg, used, nil
+}
+
+// BuildSpec assembles a submittable job spec from estimated stages.
+func BuildSpec(name string, stages []batch.Stage, submit, deadline float64) (*batch.Spec, error) {
+	spec := &batch.Spec{
+		Name:         name,
+		Stages:       append([]batch.Stage(nil), stages...),
+		Submit:       submit,
+		DesiredStart: submit,
+		Deadline:     deadline,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

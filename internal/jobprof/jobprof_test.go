@@ -1,0 +1,168 @@
+package jobprof
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthRun samples a synthetic two-stage job: stage 1 runs 100 s at
+// ≈2000 MHz with 1 GB resident, stage 2 runs 200 s at ≈800 MHz with
+// 3 GB. Noise perturbs the CPU readings.
+func synthRun(rng *rand.Rand, noise float64) Run {
+	var run Run
+	for t := 0.0; t <= 300; t += 5 {
+		var cpu, mem float64
+		if t < 100 {
+			cpu, mem = 2000, 1024
+		} else {
+			cpu, mem = 800, 3072
+		}
+		if noise > 0 {
+			cpu += rng.NormFloat64() * noise
+			if cpu < 0 {
+				cpu = 0
+			}
+			mem += rng.NormFloat64() * 20
+		}
+		run = append(run, Observation{T: t, CPUMHz: cpu, MemoryMB: mem})
+	}
+	return run
+}
+
+func TestEstimateStagesCleanRun(t *testing.T) {
+	var p Profiler
+	stages, err := p.EstimateStages(synthRun(nil, 0))
+	if err != nil {
+		t.Fatalf("EstimateStages: %v", err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	// Stage 1: ≈100 s × 2000 MHz = 200,000 Mcycles (trapezoid boundary
+	// blends one sample interval).
+	if math.Abs(stages[0].WorkMcycles-200000) > 10000 {
+		t.Fatalf("stage 1 work = %v, want ≈200000", stages[0].WorkMcycles)
+	}
+	if math.Abs(stages[0].MaxSpeedMHz-2000) > 1 {
+		t.Fatalf("stage 1 speed = %v, want 2000", stages[0].MaxSpeedMHz)
+	}
+	if math.Abs(stages[0].MemoryMB-1024) > 1 {
+		t.Fatalf("stage 1 memory = %v, want 1024", stages[0].MemoryMB)
+	}
+	// Stage 2: ≈200 s × 800 MHz = 160,000 Mcycles.
+	if math.Abs(stages[1].WorkMcycles-160000) > 10000 {
+		t.Fatalf("stage 2 work = %v, want ≈160000", stages[1].WorkMcycles)
+	}
+	if math.Abs(stages[1].MemoryMB-3072) > 1 {
+		t.Fatalf("stage 2 memory = %v, want 3072", stages[1].MemoryMB)
+	}
+}
+
+func TestEstimateStagesNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var p Profiler
+	stages, err := p.EstimateStages(synthRun(rng, 100))
+	if err != nil {
+		t.Fatalf("EstimateStages: %v", err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (noise should not split stages)", len(stages))
+	}
+	if math.Abs(stages[0].MaxSpeedMHz-2000) > 200 {
+		t.Fatalf("stage 1 speed = %v, want ≈2000", stages[0].MaxSpeedMHz)
+	}
+}
+
+func TestEstimateAveragesRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	runs := make([]Run, 8)
+	for i := range runs {
+		runs[i] = synthRun(rng, 60)
+	}
+	var p Profiler
+	stages, used, err := p.Estimate(runs)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if used < 6 {
+		t.Fatalf("used = %d runs, want most of 8", used)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	total := stages[0].WorkMcycles + stages[1].WorkMcycles
+	if math.Abs(total-360000) > 15000 {
+		t.Fatalf("total work = %v, want ≈360000", total)
+	}
+}
+
+func TestEstimateDiscardsOddRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	runs := []Run{synthRun(rng, 0), synthRun(rng, 0)}
+	// One single-stage outlier run.
+	var odd Run
+	for tt := 0.0; tt <= 100; tt += 5 {
+		odd = append(odd, Observation{T: tt, CPUMHz: 500, MemoryMB: 512})
+	}
+	runs = append(runs, odd)
+	var p Profiler
+	stages, used, err := p.Estimate(runs)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if used != 2 || len(stages) != 2 {
+		t.Fatalf("used = %d stages = %d, want 2/2 (outlier discarded)", used, len(stages))
+	}
+}
+
+func TestUnsortedSamplesAccepted(t *testing.T) {
+	run := synthRun(nil, 0)
+	run[0], run[len(run)-1] = run[len(run)-1], run[0] // shuffle endpoints
+	var p Profiler
+	if _, err := p.EstimateStages(run); err != nil {
+		t.Fatalf("EstimateStages on unsorted input: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var p Profiler
+	if _, err := p.EstimateStages(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("nil run: %v", err)
+	}
+	if _, err := p.EstimateStages(Run{{T: 0, CPUMHz: 1, MemoryMB: 1}}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("single sample: %v", err)
+	}
+	if _, err := p.EstimateStages(Run{
+		{T: 0, CPUMHz: -5, MemoryMB: 1}, {T: 1, CPUMHz: 1, MemoryMB: 1},
+	}); err == nil {
+		t.Fatal("negative CPU accepted")
+	}
+	if _, _, err := p.Estimate(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("no runs: %v", err)
+	}
+	// Idle run (all-zero CPU) yields no usable work.
+	idle := Run{{T: 0, CPUMHz: 0, MemoryMB: 10}, {T: 10, CPUMHz: 0, MemoryMB: 10}}
+	if _, err := p.EstimateStages(idle); !errors.Is(err, ErrNoData) {
+		t.Fatalf("idle run: %v", err)
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	var p Profiler
+	stages, err := p.EstimateStages(synthRun(nil, 0))
+	if err != nil {
+		t.Fatalf("EstimateStages: %v", err)
+	}
+	spec, err := BuildSpec("profiled", stages, 100, 5000)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	if spec.MinExecTime() < 250 || spec.MinExecTime() > 350 {
+		t.Fatalf("MinExecTime = %v, want ≈300 (the recorded duration)", spec.MinExecTime())
+	}
+	if _, err := BuildSpec("bad", stages, 100, 50); err == nil {
+		t.Fatal("deadline before submit accepted")
+	}
+}

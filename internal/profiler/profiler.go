@@ -1,0 +1,160 @@
+// Package profiler implements the work profiler: the component that
+// estimates the average CPU demand of a single request to each
+// transactional application by regressing observed node CPU consumption
+// on observed per-application throughput (Pacifici et al., "Dynamic
+// estimation of CPU demand of web traffic").
+//
+// The model is linear: for each observation window,
+//
+//	used_cpu = base + Σ_m throughput_m · demand_m + noise,
+//
+// solved by ordinary least squares over a sliding window of samples via
+// the normal equations.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is one observation window: the CPU consumed on a node (MHz) and
+// the request throughput of each application on it (requests/second).
+type Sample struct {
+	// UsedCPUMHz is the CPU consumed during the window.
+	UsedCPUMHz float64
+	// Throughput maps application name to completed requests/second.
+	Throughput map[string]float64
+}
+
+// Estimator accumulates samples and produces per-request CPU demand
+// estimates. The zero value is not usable; construct with New.
+type Estimator struct {
+	apps    []string
+	index   map[string]int
+	window  int
+	samples []Sample
+}
+
+// ErrInsufficientData reports that the regression is underdetermined.
+var ErrInsufficientData = errors.New("profiler: not enough samples")
+
+// New creates an estimator for the given applications, keeping at most
+// window samples (older ones slide out). A window of 0 keeps everything.
+func New(apps []string, window int) (*Estimator, error) {
+	if len(apps) == 0 {
+		return nil, errors.New("profiler: no applications")
+	}
+	e := &Estimator{
+		apps:   append([]string(nil), apps...),
+		index:  make(map[string]int, len(apps)),
+		window: window,
+	}
+	for i, a := range apps {
+		if _, dup := e.index[a]; dup {
+			return nil, fmt.Errorf("profiler: duplicate application %q", a)
+		}
+		e.index[a] = i
+	}
+	return e, nil
+}
+
+// Observe appends a sample, sliding the window if full.
+func (e *Estimator) Observe(s Sample) {
+	cp := Sample{UsedCPUMHz: s.UsedCPUMHz, Throughput: make(map[string]float64, len(s.Throughput))}
+	for k, v := range s.Throughput {
+		cp.Throughput[k] = v
+	}
+	e.samples = append(e.samples, cp)
+	if e.window > 0 && len(e.samples) > e.window {
+		e.samples = e.samples[len(e.samples)-e.window:]
+	}
+}
+
+// Len returns the number of buffered samples.
+func (e *Estimator) Len() int { return len(e.samples) }
+
+// Estimate solves the least-squares system and returns the estimated
+// per-request CPU demand (megacycles) for each application plus the base
+// (idle) CPU consumption. Estimated demands are floored at zero.
+func (e *Estimator) Estimate() (demands map[string]float64, base float64, err error) {
+	k := len(e.apps) + 1 // coefficients: demands + intercept
+	if len(e.samples) < k {
+		return nil, 0, fmt.Errorf("%w: have %d, need at least %d", ErrInsufficientData, len(e.samples), k)
+	}
+	// Normal equations: (XᵀX) β = Xᵀy with design rows
+	// [throughput_1 … throughput_M 1].
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	row := make([]float64, k)
+	for _, s := range e.samples {
+		for i, a := range e.apps {
+			row[i] = s.Throughput[a]
+		}
+		row[k-1] = 1
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * s.UsedCPUMHz
+		}
+	}
+	beta, err := solve(xtx, xty)
+	if err != nil {
+		return nil, 0, fmt.Errorf("profiler: %w", err)
+	}
+	demands = make(map[string]float64, len(e.apps))
+	for i, a := range e.apps {
+		d := beta[i]
+		if d < 0 || math.IsNaN(d) {
+			d = 0
+		}
+		demands[a] = d
+	}
+	base = beta[k-1]
+	if base < 0 || math.IsNaN(base) {
+		base = 0
+	}
+	return demands, base, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("%w: singular design matrix (column %d)", ErrInsufficientData, col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}

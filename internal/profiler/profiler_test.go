@@ -1,0 +1,166 @@
+package profiler
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExactRecovery(t *testing.T) {
+	e, err := New([]string{"trade", "quote"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// used = 200 + 40·trade + 12·quote, no noise.
+	points := []struct{ trade, quote float64 }{
+		{10, 0}, {0, 10}, {5, 5}, {20, 3}, {7, 30},
+	}
+	for _, p := range points {
+		e.Observe(Sample{
+			UsedCPUMHz: 200 + 40*p.trade + 12*p.quote,
+			Throughput: map[string]float64{"trade": p.trade, "quote": p.quote},
+		})
+	}
+	demands, base, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if math.Abs(demands["trade"]-40) > 1e-6 {
+		t.Fatalf("trade demand = %v, want 40", demands["trade"])
+	}
+	if math.Abs(demands["quote"]-12) > 1e-6 {
+		t.Fatalf("quote demand = %v, want 12", demands["quote"])
+	}
+	if math.Abs(base-200) > 1e-6 {
+		t.Fatalf("base = %v, want 200", base)
+	}
+}
+
+func TestNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, err := New([]string{"app"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const trueDemand, trueBase = 480.0, 150.0
+	for i := 0; i < 500; i++ {
+		tput := rng.Float64() * 200
+		noise := rng.NormFloat64() * 50
+		e.Observe(Sample{
+			UsedCPUMHz: trueBase + trueDemand*tput + noise,
+			Throughput: map[string]float64{"app": tput},
+		})
+	}
+	demands, base, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if math.Abs(demands["app"]-trueDemand) > 2 {
+		t.Fatalf("demand = %v, want ≈%v", demands["app"], trueDemand)
+	}
+	if math.Abs(base-trueBase) > 20 {
+		t.Fatalf("base = %v, want ≈%v", base, trueBase)
+	}
+}
+
+func TestInsufficientData(t *testing.T) {
+	e, err := New([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e.Observe(Sample{UsedCPUMHz: 10, Throughput: map[string]float64{"a": 1}})
+	if _, _, err := e.Estimate(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("Estimate = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestSingularDesign(t *testing.T) {
+	e, err := New([]string{"a"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Identical throughput in every sample: demand and base are not
+	// separable.
+	for i := 0; i < 5; i++ {
+		e.Observe(Sample{UsedCPUMHz: 100, Throughput: map[string]float64{"a": 10}})
+	}
+	if _, _, err := e.Estimate(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("Estimate = %v, want ErrInsufficientData (singular)", err)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	e, err := New([]string{"a"}, 10)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// First regime: demand 100. Then regime change to demand 7; the
+	// window should forget the old regime.
+	for i := 0; i < 50; i++ {
+		tput := float64(1 + i%5)
+		e.Observe(Sample{UsedCPUMHz: 100 * tput, Throughput: map[string]float64{"a": tput}})
+	}
+	for i := 0; i < 10; i++ {
+		tput := float64(1 + i%5)
+		e.Observe(Sample{UsedCPUMHz: 7 * tput, Throughput: map[string]float64{"a": tput}})
+	}
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", e.Len())
+	}
+	demands, _, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if math.Abs(demands["a"]-7) > 1e-6 {
+		t.Fatalf("post-change demand = %v, want 7", demands["a"])
+	}
+}
+
+func TestNegativeEstimatesFloored(t *testing.T) {
+	e, err := New([]string{"a"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// CPU decreases with throughput: OLS slope is negative, floored to 0.
+	for i := 0; i < 6; i++ {
+		tput := float64(i)
+		e.Observe(Sample{UsedCPUMHz: 100 - 5*tput, Throughput: map[string]float64{"a": tput}})
+	}
+	demands, _, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if demands["a"] != 0 {
+		t.Fatalf("demand = %v, want floored 0", demands["a"])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("New with no apps succeeded")
+	}
+	if _, err := New([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("New with duplicate apps succeeded")
+	}
+}
+
+func TestObserveCopiesSample(t *testing.T) {
+	e, err := New([]string{"a"}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tp := map[string]float64{"a": 5}
+	e.Observe(Sample{UsedCPUMHz: 50, Throughput: tp})
+	tp["a"] = 999 // mutate caller's map; estimator must be unaffected
+	for i := 0; i < 5; i++ {
+		e.Observe(Sample{UsedCPUMHz: 10 * float64(i), Throughput: map[string]float64{"a": float64(i)}})
+	}
+	demands, _, err := e.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if demands["a"] > 11 {
+		t.Fatalf("demand = %v; mutation of the caller's map leaked in", demands["a"])
+	}
+}

@@ -1,0 +1,174 @@
+// Package router implements the entry request router for transactional
+// applications: it distributes incoming requests over the application's
+// placed instances in proportion to the CPU power each instance was
+// allocated, and applies overload protection by queuing requests that the
+// current capacity cannot immediately absorb.
+//
+// The router also keeps per-application arrival-rate and service-time
+// statistics, which feed the work profiler and the performance model.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Instance is one placement target for an application.
+type Instance struct {
+	// Node names the node hosting the instance.
+	Node string
+	// PowerMHz is the CPU power allocated to the instance; dispatch
+	// weight is proportional to it.
+	PowerMHz float64
+}
+
+// Stats summarizes router-side observations for one application.
+type Stats struct {
+	// Dispatched counts requests handed to instances.
+	Dispatched int
+	// Queued counts requests currently waiting in the protection queue.
+	Queued int
+	// Rejected counts requests dropped because the queue was full.
+	Rejected int
+	// PerNode counts dispatches per node.
+	PerNode map[string]int
+}
+
+// Router dispatches requests for a set of applications. It is safe for
+// concurrent use.
+type Router struct {
+	mu       sync.Mutex
+	apps     map[string]*appState
+	queueCap int
+}
+
+type appState struct {
+	instances []Instance
+	cum       []float64 // cumulative weights for O(log n) weighted pick
+	total     float64
+	queued    int
+	stats     Stats
+}
+
+// ErrUnknownApp reports dispatch to an application the router has no
+// routing entry for.
+var ErrUnknownApp = errors.New("router: unknown application")
+
+// ErrRejected reports that overload protection dropped the request.
+var ErrRejected = errors.New("router: request rejected by overload protection")
+
+// New creates a router whose per-application protection queue holds up to
+// queueCap requests (0 disables queuing: requests without capacity are
+// rejected immediately).
+func New(queueCap int) *Router {
+	return &Router{apps: make(map[string]*appState), queueCap: queueCap}
+}
+
+// Update replaces the routing table for an application. Instances with
+// nonpositive power are dropped. An application with no usable instances
+// still accepts requests into the protection queue.
+func (r *Router) Update(app string, instances []Instance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[app]
+	if !ok {
+		st = &appState{stats: Stats{PerNode: make(map[string]int)}}
+		r.apps[app] = st
+	}
+	st.instances = st.instances[:0]
+	st.cum = st.cum[:0]
+	st.total = 0
+	for _, in := range instances {
+		if in.PowerMHz <= 0 {
+			continue
+		}
+		st.total += in.PowerMHz
+		st.instances = append(st.instances, in)
+		st.cum = append(st.cum, st.total)
+	}
+}
+
+// Remove deletes an application's routing entry.
+func (r *Router) Remove(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.apps, app)
+}
+
+// Dispatch routes one request. pick ∈ [0,1) selects the instance among
+// the weighted alternatives (callers pass an RNG sample; passing a
+// deterministic value makes tests exact). It returns the chosen node.
+// When the application has no capacity the request is queued, or rejected
+// if the queue is full.
+func (r *Router) Dispatch(app string, pick float64) (node string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[app]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownApp, app)
+	}
+	if st.total <= 0 {
+		if st.queued >= r.queueCap {
+			st.stats.Rejected++
+			return "", fmt.Errorf("%w: %q", ErrRejected, app)
+		}
+		st.queued++
+		st.stats.Queued = st.queued
+		return "", nil
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	if pick >= 1 {
+		pick = 0.999999
+	}
+	target := pick * st.total
+	i := sort.SearchFloat64s(st.cum, target)
+	if i >= len(st.instances) {
+		i = len(st.instances) - 1
+	}
+	// SearchFloat64s finds the first cum ≥ target; cum values are strictly
+	// increasing since zero-power instances are dropped.
+	if st.cum[i] == target && i+1 < len(st.instances) {
+		i++
+	}
+	in := st.instances[i]
+	st.stats.Dispatched++
+	st.stats.PerNode[in.Node]++
+	return in.Node, nil
+}
+
+// Drain releases up to n queued requests for the application (capacity
+// has become available) and returns how many were released.
+func (r *Router) Drain(app string, n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[app]
+	if !ok || n <= 0 {
+		return 0
+	}
+	if n > st.queued {
+		n = st.queued
+	}
+	st.queued -= n
+	st.stats.Queued = st.queued
+	return n
+}
+
+// StatsFor returns a copy of the application's statistics.
+func (r *Router) StatsFor(app string) (Stats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[app]
+	if !ok {
+		return Stats{}, false
+	}
+	out := st.stats
+	out.PerNode = make(map[string]int, len(st.stats.PerNode))
+	for k, v := range st.stats.PerNode {
+		out.PerNode[k] = v
+	}
+	return out, true
+}

@@ -1,0 +1,141 @@
+package router
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDispatchProportional(t *testing.T) {
+	r := New(0)
+	r.Update("shop", []Instance{
+		{Node: "n0", PowerMHz: 3000},
+		{Node: "n1", PowerMHz: 1000},
+	})
+	rng := rand.New(rand.NewSource(1))
+	const total = 20000
+	for i := 0; i < total; i++ {
+		if _, err := r.Dispatch("shop", rng.Float64()); err != nil {
+			t.Fatalf("Dispatch: %v", err)
+		}
+	}
+	st, ok := r.StatsFor("shop")
+	if !ok {
+		t.Fatal("StatsFor missing")
+	}
+	if st.Dispatched != total {
+		t.Fatalf("Dispatched = %d, want %d", st.Dispatched, total)
+	}
+	frac := float64(st.PerNode["n0"]) / total
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("n0 fraction = %v, want ≈0.75 (weighted by allocated power)", frac)
+	}
+}
+
+func TestDeterministicPick(t *testing.T) {
+	r := New(0)
+	r.Update("a", []Instance{
+		{Node: "n0", PowerMHz: 100},
+		{Node: "n1", PowerMHz: 100},
+	})
+	n, err := r.Dispatch("a", 0.0)
+	if err != nil || n != "n0" {
+		t.Fatalf("Dispatch(0.0) = %q, %v; want n0", n, err)
+	}
+	n, err = r.Dispatch("a", 0.75)
+	if err != nil || n != "n1" {
+		t.Fatalf("Dispatch(0.75) = %q, %v; want n1", n, err)
+	}
+	// Out-of-range picks clamp rather than fail.
+	if _, err := r.Dispatch("a", -5); err != nil {
+		t.Fatalf("Dispatch(-5): %v", err)
+	}
+	if _, err := r.Dispatch("a", 2); err != nil {
+		t.Fatalf("Dispatch(2): %v", err)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	r := New(0)
+	if _, err := r.Dispatch("ghost", 0.5); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err = %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestOverloadProtection(t *testing.T) {
+	r := New(2)
+	r.Update("a", nil) // no capacity
+	for i := 0; i < 2; i++ {
+		node, err := r.Dispatch("a", 0.5)
+		if err != nil || node != "" {
+			t.Fatalf("queued dispatch %d = %q, %v", i, node, err)
+		}
+	}
+	if _, err := r.Dispatch("a", 0.5); !errors.Is(err, ErrRejected) {
+		t.Fatalf("third dispatch err = %v, want ErrRejected", err)
+	}
+	st, _ := r.StatsFor("a")
+	if st.Queued != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want Queued=2 Rejected=1", st)
+	}
+	if got := r.Drain("a", 5); got != 2 {
+		t.Fatalf("Drain = %d, want 2", got)
+	}
+	st, _ = r.StatsFor("a")
+	if st.Queued != 0 {
+		t.Fatalf("Queued after drain = %d, want 0", st.Queued)
+	}
+}
+
+func TestZeroPowerInstancesDropped(t *testing.T) {
+	r := New(1)
+	r.Update("a", []Instance{{Node: "dead", PowerMHz: 0}})
+	node, err := r.Dispatch("a", 0.5)
+	if err != nil || node != "" {
+		t.Fatalf("dispatch with only zero-power instances = %q, %v; want queued", node, err)
+	}
+}
+
+func TestUpdateReplacesTable(t *testing.T) {
+	r := New(0)
+	r.Update("a", []Instance{{Node: "n0", PowerMHz: 100}})
+	r.Update("a", []Instance{{Node: "n1", PowerMHz: 100}})
+	node, err := r.Dispatch("a", 0.5)
+	if err != nil || node != "n1" {
+		t.Fatalf("Dispatch after update = %q, %v; want n1", node, err)
+	}
+	r.Remove("a")
+	if _, err := r.Dispatch("a", 0.5); !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err after Remove = %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestConcurrentDispatch(t *testing.T) {
+	r := New(0)
+	r.Update("a", []Instance{
+		{Node: "n0", PowerMHz: 50},
+		{Node: "n1", PowerMHz: 50},
+	})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 1000; i++ {
+				if _, err := r.Dispatch("a", rng.Float64()); err != nil {
+					t.Errorf("Dispatch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	st, _ := r.StatsFor("a")
+	if st.Dispatched != 8000 {
+		t.Fatalf("Dispatched = %d, want 8000", st.Dispatched)
+	}
+}

@@ -1,0 +1,89 @@
+package rpf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Piecewise is a monotone piecewise-linear utility curve defined by
+// sampled (allocation, utility) points. It is the concrete curve shape the
+// paper assumes ("in our system we use linear functions"), and is also how
+// profiled curves are represented after sampling.
+type Piecewise struct {
+	omegas []float64
+	utils  []float64
+}
+
+// ErrBadCurve reports an invalid piecewise definition.
+var ErrBadCurve = errors.New("rpf: invalid piecewise curve")
+
+// NewPiecewise builds a curve from sample points. Points are sorted by
+// allocation; utilities must be nondecreasing with allocation.
+func NewPiecewise(points map[float64]float64) (*Piecewise, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 points, got %d", ErrBadCurve, len(points))
+	}
+	omegas := make([]float64, 0, len(points))
+	for w := range points {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative allocation %v", ErrBadCurve, w)
+		}
+		omegas = append(omegas, w)
+	}
+	sort.Float64s(omegas)
+	utils := make([]float64, len(omegas))
+	for i, w := range omegas {
+		utils[i] = Clamp(points[w])
+		if i > 0 && utils[i] < utils[i-1] {
+			return nil, fmt.Errorf("%w: utility decreases at allocation %v", ErrBadCurve, w)
+		}
+	}
+	return &Piecewise{omegas: omegas, utils: utils}, nil
+}
+
+var _ Curve = (*Piecewise)(nil)
+
+// UtilityAt linearly interpolates between sample points; allocations
+// outside the sampled range clamp to the end utilities.
+func (p *Piecewise) UtilityAt(omega float64) float64 {
+	n := len(p.omegas)
+	if omega <= p.omegas[0] {
+		return p.utils[0]
+	}
+	if omega >= p.omegas[n-1] {
+		return p.utils[n-1]
+	}
+	i := sort.SearchFloat64s(p.omegas, omega)
+	// p.omegas[i-1] < omega <= p.omegas[i]
+	lo, hi := p.omegas[i-1], p.omegas[i]
+	f := (omega - lo) / (hi - lo)
+	return p.utils[i-1] + f*(p.utils[i]-p.utils[i-1])
+}
+
+// DemandFor returns the smallest allocation reaching utility u.
+func (p *Piecewise) DemandFor(u float64) float64 {
+	n := len(p.utils)
+	if u <= p.utils[0] {
+		return p.omegas[0]
+	}
+	if u > p.utils[n-1] {
+		return p.omegas[n-1]
+	}
+	i := sort.SearchFloat64s(p.utils, u)
+	if i == 0 {
+		return p.omegas[0]
+	}
+	lo, hi := p.utils[i-1], p.utils[i]
+	if hi == lo {
+		return p.omegas[i-1]
+	}
+	f := (u - lo) / (hi - lo)
+	return p.omegas[i-1] + f*(p.omegas[i]-p.omegas[i-1])
+}
+
+// UtilityCap returns the utility of the largest sampled allocation.
+func (p *Piecewise) UtilityCap() float64 { return p.utils[len(p.utils)-1] }
+
+// MaxDemand returns the largest sampled allocation.
+func (p *Piecewise) MaxDemand() float64 { return p.omegas[len(p.omegas)-1] }

@@ -1,0 +1,122 @@
+package rpf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustPiecewise(t *testing.T, pts map[float64]float64) *Piecewise {
+	t.Helper()
+	p, err := NewPiecewise(pts)
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	return p
+}
+
+func TestPiecewiseInterpolation(t *testing.T) {
+	p := mustPiecewise(t, map[float64]float64{0: -1, 100: 0, 200: 0.5})
+	tests := []struct {
+		omega, want float64
+	}{
+		{0, -1},
+		{50, -0.5},
+		{100, 0},
+		{150, 0.25},
+		{200, 0.5},
+		{500, 0.5},  // clamp above
+		{-10, -1.0}, // clamp below
+	}
+	for _, tt := range tests {
+		if got := p.UtilityAt(tt.omega); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("UtilityAt(%v) = %v, want %v", tt.omega, got, tt.want)
+		}
+	}
+}
+
+func TestPiecewiseDemand(t *testing.T) {
+	p := mustPiecewise(t, map[float64]float64{0: -1, 100: 0, 200: 0.5})
+	tests := []struct {
+		u, want float64
+	}{
+		{-1, 0},
+		{-0.5, 50},
+		{0, 100},
+		{0.25, 150},
+		{0.5, 200},
+		{0.9, 200}, // unreachable → MaxDemand
+	}
+	for _, tt := range tests {
+		if got := p.DemandFor(tt.u); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("DemandFor(%v) = %v, want %v", tt.u, got, tt.want)
+		}
+	}
+	if got := p.UtilityCap(); got != 0.5 {
+		t.Fatalf("UtilityCap = %v, want 0.5", got)
+	}
+	if got := p.MaxDemand(); got != 200 {
+		t.Fatalf("MaxDemand = %v, want 200", got)
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(map[float64]float64{1: 0}); !errors.Is(err, ErrBadCurve) {
+		t.Fatalf("single point: err = %v, want ErrBadCurve", err)
+	}
+	if _, err := NewPiecewise(map[float64]float64{0: 1, 10: 0}); !errors.Is(err, ErrBadCurve) {
+		t.Fatalf("decreasing: err = %v, want ErrBadCurve", err)
+	}
+	if _, err := NewPiecewise(map[float64]float64{-5: 0, 10: 1}); !errors.Is(err, ErrBadCurve) {
+		t.Fatalf("negative allocation: err = %v, want ErrBadCurve", err)
+	}
+}
+
+// Property: UtilityAt is monotone nondecreasing and DemandFor(UtilityAt(w))
+// <= w for any allocation inside the sampled range.
+func TestQuickPiecewiseMonotoneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		pts := make(map[float64]float64, n)
+		w, u := 0.0, -2.0
+		for i := 0; i < n; i++ {
+			pts[w] = u
+			w += 1 + rng.Float64()*100
+			u += rng.Float64()
+		}
+		p, err := NewPiecewise(pts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prev := math.Inf(-1)
+		for x := 0.0; x < p.MaxDemand()*1.1; x += p.MaxDemand() / 50 {
+			got := p.UtilityAt(x)
+			if got < prev-1e-12 {
+				t.Fatalf("trial %d: UtilityAt not monotone at %v", trial, x)
+			}
+			prev = got
+			if d := p.DemandFor(got); d > x+1e-6 && x <= p.MaxDemand() {
+				t.Fatalf("trial %d: DemandFor(UtilityAt(%v)) = %v > %v", trial, x, d, x)
+			}
+		}
+	}
+}
+
+// Property: demands returned are sorted when utilities are sorted.
+func TestQuickPiecewiseDemandMonotone(t *testing.T) {
+	p := mustPiecewise(t, map[float64]float64{0: -3, 50: -1, 100: 0, 400: 0.8})
+	us := make([]float64, 101)
+	for i := range us {
+		us[i] = -3 + float64(i)*(3.8/100)
+	}
+	ds := make([]float64, len(us))
+	for i, u := range us {
+		ds[i] = p.DemandFor(u)
+	}
+	if !sort.Float64sAreSorted(ds) {
+		t.Fatal("DemandFor not monotone in u")
+	}
+}

@@ -1,0 +1,177 @@
+// Package rpf defines relative performance functions (RPFs) and the
+// ordered utility vectors the placement controller optimizes.
+//
+// A relative performance function measures an application's performance
+// relative to its goal: 0 exactly at the goal, positive when the goal is
+// exceeded, negative when it is violated. The paper uses RPFs as the
+// uniform currency that makes transactional response-time goals and batch
+// completion-time goals comparable, so that "fairness" means equal
+// relative distance from the goal.
+package rpf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MinUtility is the sentinel for "infinitely violated" (the paper's
+// u₁ = −∞ sampling point). Using a large finite value keeps arithmetic
+// (sorting, interpolation) well defined.
+const MinUtility = -1e9
+
+// MaxUtility is the largest meaningful relative performance: completing
+// work instantaneously relative to its goal window.
+const MaxUtility = 1.0
+
+// Curve maps a CPU allocation (MHz) to a relative performance value, and
+// back. Curves must be monotonically nondecreasing in the allocation.
+type Curve interface {
+	// UtilityAt returns the relative performance attained with an
+	// aggregate allocation of omega MHz.
+	UtilityAt(omega float64) float64
+	// DemandFor returns the smallest allocation achieving utility u, or
+	// MaxDemand() if u is unreachable.
+	DemandFor(u float64) float64
+	// UtilityCap returns the maximum achievable utility.
+	UtilityCap() float64
+	// MaxDemand returns the largest useful allocation: allocating more
+	// than this does not improve utility.
+	MaxDemand() float64
+}
+
+// Clamp bounds u to the representable utility range.
+func Clamp(u float64) float64 {
+	switch {
+	case math.IsNaN(u):
+		return MinUtility
+	case u < MinUtility:
+		return MinUtility
+	case u > MaxUtility:
+		return MaxUtility
+	default:
+		return u
+	}
+}
+
+// Vector is a multiset of per-application utilities compared with the
+// paper's extended max-min criterion: sort ascending, then compare
+// lexicographically. The first (worst) differing coordinate decides, so a
+// placement is better when its least-performing application does better;
+// ties cascade to the second-least, and so on.
+type Vector []float64
+
+// NewVector returns a sorted copy of us, clamped to the utility range.
+func NewVector(us []float64) Vector {
+	v := make(Vector, len(us))
+	for i, u := range us {
+		v[i] = Clamp(u)
+	}
+	sort.Float64s(v)
+	return v
+}
+
+// Min returns the worst utility, or MaxUtility for an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		return MaxUtility
+	}
+	return v[0]
+}
+
+// Compare returns -1 if v is worse than other under the extended max-min
+// order, +1 if better, and 0 if equal. Vectors of different lengths are
+// compared on their common prefix; if equal there, the shorter vector is
+// treated as padded with MaxUtility (a missing application cannot be made
+// better).
+func (v Vector) Compare(other Vector) int {
+	n := len(v)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case v[i] < other[i]:
+			return -1
+		case v[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(v) < len(other):
+		return 1
+	case len(v) > len(other):
+		return -1
+	}
+	return 0
+}
+
+// Less reports whether v is strictly worse than other.
+func (v Vector) Less(other Vector) bool { return v.Compare(other) < 0 }
+
+// ImprovesOn reports whether v is better than other by more than eps in
+// the first differing coordinate.
+func (v Vector) ImprovesOn(other Vector, eps float64) bool {
+	n := len(v)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		d := v[i] - other[i]
+		if d > eps {
+			return true
+		}
+		if d < -eps {
+			return false
+		}
+	}
+	return len(v) > len(other)
+}
+
+// Quantize returns the vector with every coordinate snapped down to a
+// multiple of step. The placement optimizer compares candidate vectors at
+// this resolution — mirroring the paper's sampled-grid arithmetic, in
+// which nearby configurations tie (and the tie breaks toward fewer
+// placement changes). Unlike a fixed improvement threshold, quantization
+// cannot starve a queued job: the utility of leaving it queued keeps
+// decaying and eventually crosses a quantization boundary.
+func (v Vector) Quantize(step float64) Vector {
+	if step <= 0 {
+		return v
+	}
+	out := make(Vector, len(v))
+	for i, u := range v {
+		out[i] = math.Floor(u/step) * step
+	}
+	return out
+}
+
+func (v Vector) String() string {
+	return fmt.Sprintf("%.3f", []float64(v))
+}
+
+// Linear is the paper's linear RPF shape u(t) = (goal − t) / window,
+// reusable by both workload models: for transactional applications the
+// window is the response-time goal itself; for batch jobs it is the
+// relative goal (completion goal minus desired start).
+type Linear struct {
+	// Goal is the target metric value (response time or completion time)
+	// at which utility is exactly zero.
+	Goal float64
+	// Window scales the distance from the goal; utility is 1.0 when the
+	// metric is Goal−Window "early".
+	Window float64
+}
+
+// Utility returns (Goal − observed) / Window, clamped.
+func (l Linear) Utility(observed float64) float64 {
+	if l.Window <= 0 {
+		return MinUtility
+	}
+	return Clamp((l.Goal - observed) / l.Window)
+}
+
+// Metric inverts Utility: the observed value that yields utility u.
+func (l Linear) Metric(u float64) float64 {
+	return l.Goal - u*l.Window
+}

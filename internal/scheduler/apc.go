@@ -1,0 +1,124 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+)
+
+// APC schedules batch jobs through the Application Placement Controller:
+// each cycle it builds a placement problem from the live jobs, runs the
+// utility-driven optimizer (which orders queued work lowest relative
+// performance first), and converts the chosen placement into assignments.
+//
+// The zero value uses the optimizer defaults and a free cost model;
+// populate the fields to match an experiment's configuration.
+type APC struct {
+	// Costs is the placement-action cost model used in evaluation.
+	Costs cluster.CostModel
+	// Epsilon is the minimum utility improvement justifying a change
+	// (0 = core.DefaultEpsilon).
+	Epsilon float64
+	// MaxPasses bounds optimizer sweeps (0 = core.DefaultMaxPasses).
+	MaxPasses int
+	// Levels overrides the hypothetical-RPF sampling grid.
+	Levels []float64
+	// ExactHypothetical selects bisection instead of the sampled grid.
+	ExactHypothetical bool
+
+	// LastResult exposes the most recent optimizer outcome for metrics
+	// (candidates evaluated, utility vector, aggregate allocation).
+	LastResult *core.Result
+}
+
+var _ Policy = (*APC)(nil)
+
+// Name implements Policy.
+func (a *APC) Name() string { return "APC" }
+
+// Schedule implements Policy.
+func (a *APC) Schedule(now, cycle float64, jobs []*Job, nodes []NodeCapacity) ([]Assignment, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("scheduler: APC needs at least one node")
+	}
+	// Build a cluster from the offered capacities; cluster.New renumbers
+	// nodes densely, so keep the mapping both ways.
+	defs := make([]cluster.Node, len(nodes))
+	toOriginal := make([]cluster.NodeID, len(nodes))
+	toDense := make(map[cluster.NodeID]cluster.NodeID, len(nodes))
+	for i, n := range nodes {
+		defs[i] = cluster.Node{Name: fmt.Sprintf("n%d", n.ID), CPUMHz: n.CPUMHz, MemMB: n.MemMB}
+		toOriginal[i] = n.ID
+		toDense[n.ID] = cluster.NodeID(i)
+	}
+	cl, err := cluster.New(defs...)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+
+	apps := make([]*core.Application, 0, len(jobs))
+	lastNodes := make([]cluster.NodeID, 0, len(jobs))
+	current := core.NewPlacement(len(jobs))
+	live := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Status == Completed {
+			continue
+		}
+		idx := len(apps)
+		apps = append(apps, &core.Application{
+			Name:          j.Spec.Name,
+			Kind:          core.KindBatch,
+			Job:           j.Spec,
+			Done:          j.Done,
+			Started:       j.Started,
+			AntiCollocate: j.Spec.AntiCollocate,
+		})
+		last := cluster.NodeID(-1)
+		if j.LastNode != NoNode {
+			if dense, ok := toDense[j.LastNode]; ok {
+				last = dense
+			}
+		}
+		lastNodes = append(lastNodes, last)
+		if j.Node != NoNode {
+			if dense, ok := toDense[j.Node]; ok {
+				current.Add(idx, dense)
+			}
+		}
+		live = append(live, j)
+	}
+
+	problem := &core.Problem{
+		Cluster:           cl,
+		Now:               now,
+		Cycle:             cycle,
+		Apps:              apps,
+		Current:           current,
+		LastNode:          lastNodes,
+		Costs:             a.Costs,
+		Levels:            a.Levels,
+		ExactHypothetical: a.ExactHypothetical,
+		Epsilon:           a.Epsilon,
+		MaxPasses:         a.MaxPasses,
+	}
+	res, err := core.Optimize(problem)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: optimize: %w", err)
+	}
+	a.LastResult = res
+
+	var out []Assignment
+	for idx, j := range live {
+		ns := res.Placement.NodesOf(idx)
+		if len(ns) == 0 {
+			continue
+		}
+		out = append(out, Assignment{
+			Job:      j,
+			Node:     toOriginal[ns[0]],
+			SpeedMHz: res.Eval.PerApp[idx],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+// Package scheduler manages the lifecycle of batch jobs and implements
+// the scheduling policies the paper compares: the APC-driven policy
+// (lowest relative performance first, via the placement controller), the
+// preemptive Earliest Deadline First baseline, and the non-preemptive
+// First-Come First-Served baseline, both with first-fit placement.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/metrics"
+)
+
+// Status is a job's lifecycle state (the paper's runtime states).
+type Status int
+
+// Job lifecycle states.
+const (
+	// Pending: submitted, never started.
+	Pending Status = iota + 1
+	// Running: placed on a node with a positive CPU allocation.
+	Running
+	// Paused: placed (holding memory) but allocated no CPU.
+	Paused
+	// Suspended: removed from its node; memory released, progress kept.
+	Suspended
+	// Completed: all work finished.
+	Completed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Paused:
+		return "paused"
+	case Suspended:
+		return "suspended"
+	case Completed:
+		return "completed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// NoNode marks an unplaced job.
+const NoNode cluster.NodeID = -1
+
+// Job is the runtime record of one submitted batch job.
+type Job struct {
+	// Spec is the immutable profile and SLA.
+	Spec *batch.Spec
+	// Status is the lifecycle state.
+	Status Status
+	// Done is α*: megacycles completed.
+	Done float64
+	// Node hosts the job (NoNode when not placed).
+	Node cluster.NodeID
+	// LastNode is where a suspended job last ran (NoNode if never).
+	LastNode cluster.NodeID
+	// SpeedMHz is the current allocation.
+	SpeedMHz float64
+	// Started reports whether the job ever ran.
+	Started bool
+	// CompletedAt is the completion instant (valid when Completed).
+	CompletedAt float64
+	// BlockedUntil delays progress while a placement action (boot,
+	// resume, migration) is in flight.
+	BlockedUntil float64
+
+	// Action counters (the paper's Figure 4 accounting).
+	Starts, Suspends, Resumes, Migrations int
+
+	lastAdvance float64
+}
+
+// NewJob wraps a spec into a pending runtime record.
+func NewJob(spec *batch.Spec) *Job {
+	return &Job{
+		Spec:        spec,
+		Status:      Pending,
+		Node:        NoNode,
+		LastNode:    NoNode,
+		lastAdvance: spec.Submit,
+	}
+}
+
+// Remaining returns the outstanding work in megacycles.
+func (j *Job) Remaining() float64 { return j.Spec.Remaining(j.Done) }
+
+// AdvanceTo progresses the job to virtual time now at its current speed,
+// honoring the action-cost block and per-stage speed caps. If the job
+// finishes, it transitions to Completed with the exact completion time.
+func (j *Job) AdvanceTo(now float64) {
+	if now <= j.lastAdvance {
+		return
+	}
+	start := j.lastAdvance
+	j.lastAdvance = now
+	if j.Status != Running || j.SpeedMHz <= 0 {
+		return
+	}
+	if j.BlockedUntil > start {
+		start = j.BlockedUntil
+	}
+	if start >= now {
+		return
+	}
+	newDone, idle := j.Spec.Advance(j.Done, j.SpeedMHz, now-start)
+	j.Done = newDone
+	if j.Remaining() <= 1e-9 {
+		j.Done = j.Spec.TotalWork()
+		j.Status = Completed
+		j.CompletedAt = now - idle
+		j.SpeedMHz = 0
+		j.LastNode = j.Node
+		j.Node = NoNode
+	}
+}
+
+// FinishTime predicts when the job completes at its current allocation,
+// or +Inf if it is not progressing.
+func (j *Job) FinishTime() float64 {
+	if j.Status == Completed {
+		return j.CompletedAt
+	}
+	if j.Status != Running || j.SpeedMHz <= 0 {
+		return math.Inf(1)
+	}
+	start := j.lastAdvance
+	if j.BlockedUntil > start {
+		start = j.BlockedUntil
+	}
+	return start + j.Spec.TimeToFinish(j.Done, j.SpeedMHz)
+}
+
+// DistanceToGoal returns the paper's Figure 5 metric: deadline minus
+// completion time (positive = early). Valid once Completed.
+func (j *Job) DistanceToGoal() float64 { return j.Spec.Deadline - j.CompletedAt }
+
+// MetGoal reports whether the job completed by its deadline.
+func (j *Job) MetGoal() bool {
+	return j.Status == Completed && j.CompletedAt <= j.Spec.Deadline
+}
+
+// NodeCapacity describes the resources one node offers to batch work.
+type NodeCapacity struct {
+	ID     cluster.NodeID
+	CPUMHz float64
+	MemMB  float64
+}
+
+// Assignment directs one job to run on a node at a speed for the next
+// cycle. SpeedMHz of 0 parks the job as Paused (placed, no CPU).
+type Assignment struct {
+	Job      *Job
+	Node     cluster.NodeID
+	SpeedMHz float64
+}
+
+// Policy decides, each control cycle, which jobs run where and how fast.
+// Jobs absent from the returned assignments are suspended (if running)
+// or stay queued.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Schedule is called once per control cycle with the incomplete jobs
+	// and per-node capacities available to batch work.
+	Schedule(now, cycle float64, jobs []*Job, nodes []NodeCapacity) ([]Assignment, error)
+}
+
+// Action counter names used with metrics.Counter.
+const (
+	ActionStart   = "start"
+	ActionSuspend = "suspend"
+	ActionResume  = "resume"
+	ActionMigrate = "migrate"
+)
+
+// Apply transitions job states according to the assignments, charging
+// action costs and counting placement changes. Jobs must already be
+// advanced to now. It returns the number of disruptive placement changes
+// (suspends + resumes + migrations — the paper's Figure 4 metric, which
+// excludes first starts).
+func Apply(now float64, jobs []*Job, assignments []Assignment, costs cluster.CostModel, counter *metrics.Counter) int {
+	assigned := make(map[*Job]Assignment, len(assignments))
+	for _, a := range assignments {
+		assigned[a.Job] = a
+	}
+	changes := 0
+	for _, j := range jobs {
+		if j.Status == Completed {
+			continue
+		}
+		a, ok := assigned[j]
+		if !ok {
+			// Not scheduled this cycle.
+			if j.Status == Running || j.Status == Paused {
+				j.Suspends++
+				counter.Inc(ActionSuspend, 1)
+				changes++
+				j.LastNode = j.Node
+				j.Node = NoNode
+				j.SpeedMHz = 0
+				j.Status = Suspended
+			}
+			continue
+		}
+		footprint := j.Spec.MemoryAt(j.Done)
+		switch j.Status {
+		case Pending:
+			j.Started = true
+			j.Starts++
+			counter.Inc(ActionStart, 1)
+			j.BlockedUntil = now + costs.Boot()
+		case Suspended:
+			j.Resumes++
+			counter.Inc(ActionResume, 1)
+			changes++
+			cost := costs.Resume(footprint)
+			if a.Node != j.LastNode {
+				cost += costs.Migrate(footprint)
+				j.Migrations++
+				counter.Inc(ActionMigrate, 1)
+				changes++
+			}
+			j.BlockedUntil = now + cost
+		case Running, Paused:
+			if a.Node != j.Node {
+				j.Migrations++
+				counter.Inc(ActionMigrate, 1)
+				changes++
+				j.BlockedUntil = now + costs.Migrate(footprint)
+			}
+		}
+		j.Node = a.Node
+		j.SpeedMHz = a.SpeedMHz
+		if a.SpeedMHz > 0 {
+			j.Status = Running
+		} else {
+			j.Status = Paused
+		}
+	}
+	return changes
+}

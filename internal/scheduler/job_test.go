@@ -1,0 +1,189 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/metrics"
+)
+
+func spec(name string, work, speed, mem, submit, deadline float64) *batch.Spec {
+	return batch.SingleStage(name, work, speed, mem, submit, deadline)
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Pending: "pending", Running: "running", Paused: "paused",
+		Suspended: "suspended", Completed: "completed", Status(42): "Status(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestJobAdvance(t *testing.T) {
+	j := NewJob(spec("j", 4000, 1000, 100, 0, 20))
+	j.Status = Running
+	j.Node = 0
+	j.SpeedMHz = 1000
+	j.Started = true
+	j.AdvanceTo(2)
+	if math.Abs(j.Done-2000) > 1e-9 {
+		t.Fatalf("Done = %v, want 2000", j.Done)
+	}
+	if j.Status != Running {
+		t.Fatalf("Status = %v", j.Status)
+	}
+	// Finish exactly: remaining 2000 at 1000 MHz → completes at t=4.
+	j.AdvanceTo(4)
+	if j.Status != Completed {
+		t.Fatalf("Status = %v, want completed", j.Status)
+	}
+	if math.Abs(j.CompletedAt-4) > 1e-9 {
+		t.Fatalf("CompletedAt = %v, want 4", j.CompletedAt)
+	}
+	if !j.MetGoal() {
+		t.Fatal("job met its goal")
+	}
+	if math.Abs(j.DistanceToGoal()-16) > 1e-9 {
+		t.Fatalf("DistanceToGoal = %v, want 16", j.DistanceToGoal())
+	}
+}
+
+func TestJobAdvanceOvershoot(t *testing.T) {
+	// Advancing beyond the completion instant must back-date CompletedAt.
+	j := NewJob(spec("j", 1000, 1000, 100, 0, 20))
+	j.Status = Running
+	j.SpeedMHz = 1000
+	j.AdvanceTo(5)
+	if j.Status != Completed || math.Abs(j.CompletedAt-1) > 1e-9 {
+		t.Fatalf("CompletedAt = %v (status %v), want 1", j.CompletedAt, j.Status)
+	}
+}
+
+func TestJobBlockedByActionCost(t *testing.T) {
+	j := NewJob(spec("j", 1000, 1000, 100, 0, 20))
+	j.Status = Running
+	j.SpeedMHz = 1000
+	j.BlockedUntil = 2 // e.g. boot finishes at t=2
+	j.AdvanceTo(2)
+	if j.Done != 0 {
+		t.Fatalf("progress during block: %v", j.Done)
+	}
+	j.AdvanceTo(2.5)
+	if math.Abs(j.Done-500) > 1e-9 {
+		t.Fatalf("Done = %v, want 500", j.Done)
+	}
+}
+
+func TestJobNoProgressWhenSuspendedOrPending(t *testing.T) {
+	j := NewJob(spec("j", 1000, 1000, 100, 0, 20))
+	j.AdvanceTo(3)
+	if j.Done != 0 {
+		t.Fatal("pending job progressed")
+	}
+	j.Status = Suspended
+	j.AdvanceTo(5)
+	if j.Done != 0 {
+		t.Fatal("suspended job progressed")
+	}
+}
+
+func TestFinishTime(t *testing.T) {
+	j := NewJob(spec("j", 4000, 1000, 100, 0, 20))
+	if !math.IsInf(j.FinishTime(), 1) {
+		t.Fatal("pending job has finite finish time")
+	}
+	j.Status = Running
+	j.SpeedMHz = 500
+	j.BlockedUntil = 1
+	if got := j.FinishTime(); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("FinishTime = %v, want 9 (block 1 + 4000/500)", got)
+	}
+	j.AdvanceTo(9)
+	if got := j.FinishTime(); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("completed FinishTime = %v, want 9", got)
+	}
+}
+
+func TestApplyTransitions(t *testing.T) {
+	costs := cluster.DefaultCostModel()
+	counter := metrics.NewCounter()
+	fresh := NewJob(spec("fresh", 4000, 1000, 1000, 0, 40))
+	running := NewJob(spec("running", 4000, 1000, 1000, 0, 40))
+	running.Status = Running
+	running.Node = 1
+	running.SpeedMHz = 500
+	running.Started = true
+	victim := NewJob(spec("victim", 4000, 1000, 1000, 0, 40))
+	victim.Status = Running
+	victim.Node = 2
+	victim.SpeedMHz = 500
+	victim.Started = true
+	jobs := []*Job{fresh, running, victim}
+
+	changes := Apply(10, jobs, []Assignment{
+		{Job: fresh, Node: 0, SpeedMHz: 800}, // start
+		{Job: running, Node: 1, SpeedMHz: 900},
+		// victim not assigned → suspended
+	}, costs, counter)
+
+	if fresh.Status != Running || fresh.Node != 0 || !fresh.Started {
+		t.Fatalf("fresh = %+v", fresh)
+	}
+	if math.Abs(fresh.BlockedUntil-13.6) > 1e-9 {
+		t.Fatalf("fresh BlockedUntil = %v, want 13.6 (boot)", fresh.BlockedUntil)
+	}
+	if running.SpeedMHz != 900 || running.Node != 1 || running.Migrations != 0 {
+		t.Fatalf("running = %+v", running)
+	}
+	if victim.Status != Suspended || victim.Node != NoNode || victim.LastNode != 2 {
+		t.Fatalf("victim = %+v", victim)
+	}
+	if counter.Get(ActionStart) != 1 || counter.Get(ActionSuspend) != 1 {
+		t.Fatalf("counter = %v starts, %v suspends", counter.Get(ActionStart), counter.Get(ActionSuspend))
+	}
+	// Figure 4 counts disruptions only: the suspend, not the start.
+	if changes != 1 {
+		t.Fatalf("changes = %d, want 1", changes)
+	}
+
+	// Resume the victim on a different node: resume + migrate.
+	changes = Apply(20, jobs, []Assignment{
+		{Job: fresh, Node: 0, SpeedMHz: 800},
+		{Job: running, Node: 3, SpeedMHz: 900}, // live migration
+		{Job: victim, Node: 5, SpeedMHz: 400},  // move and resume
+	}, costs, counter)
+	if victim.Status != Running || victim.Node != 5 {
+		t.Fatalf("victim after resume = %+v", victim)
+	}
+	wantBlock := 20 + costs.Resume(1000) + costs.Migrate(1000)
+	if math.Abs(victim.BlockedUntil-wantBlock) > 1e-9 {
+		t.Fatalf("victim BlockedUntil = %v, want %v", victim.BlockedUntil, wantBlock)
+	}
+	if running.Migrations != 1 {
+		t.Fatalf("running migrations = %d, want 1", running.Migrations)
+	}
+	if changes != 3 { // resume + its migrate + live migrate
+		t.Fatalf("changes = %d, want 3", changes)
+	}
+}
+
+func TestApplyPause(t *testing.T) {
+	j := NewJob(spec("j", 4000, 1000, 1000, 0, 40))
+	j.Status = Running
+	j.Node = 0
+	j.SpeedMHz = 500
+	j.Started = true
+	counter := metrics.NewCounter()
+	Apply(5, []*Job{j}, []Assignment{{Job: j, Node: 0, SpeedMHz: 0}}, cluster.FreeCostModel(), counter)
+	if j.Status != Paused || j.Node != 0 {
+		t.Fatalf("job = %+v, want paused in place", j)
+	}
+	if counter.Total() != 0 {
+		t.Fatal("pausing should not count as a placement action")
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	if got := s.Run(100); got != 100 {
+		t.Fatalf("Run on empty agenda = %v, want horizon 100", got)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var fired []int
+	for i, at := range []Time{30, 10, 20} {
+		i := i
+		if _, err := s.At(at, func(Time) { fired = append(fired, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.RunAll()
+	want := []int{1, 2, 0}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestFIFOWithinTimestamp(t *testing.T) {
+	s := New()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(5, func(Time) { fired = append(fired, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.RunAll()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-timestamp events out of FIFO order: %v", fired)
+		}
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	s := New()
+	if _, err := s.At(10, func(Time) {}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.RunAll()
+	if _, err := s.At(5, func(Time) {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("scheduling in the past: err = %v, want ErrPastEvent", err)
+	}
+	if _, err := s.After(-1, func(Time) {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("negative delay: err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestNilEventRejected(t *testing.T) {
+	s := New()
+	if _, err := s.At(1, nil); err == nil {
+		t.Fatal("scheduling a nil event succeeded, want error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h, err := s.At(10, func(Time) { fired = true })
+	if err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if !s.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if s.Cancel(h) {
+		t.Fatal("Cancel returned true for an already-cancelled event")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	h, err := s.At(1, func(Time) {})
+	if err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.RunAll()
+	if s.Cancel(h) {
+		t.Fatal("Cancel returned true for a fired event")
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		if _, err := s.At(at, func(now Time) { fired = append(fired, now) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	if got := s.Run(25); got != 25 {
+		t.Fatalf("Run = %v, want 25", got)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (10 and 20)", len(fired))
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	// Events exactly at the horizon fire.
+	s2 := New()
+	n := 0
+	if _, err := s2.At(25, func(Time) { n++ }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s2.Run(25)
+	if n != 1 {
+		t.Fatal("event at the horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		if _, err := s.At(Time(i), func(Time) {
+			n++
+			if n == 2 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.RunAll()
+	if n != 2 {
+		t.Fatalf("fired %d events after Stop, want 2", n)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", s.Pending())
+	}
+}
+
+func TestReentrantScheduling(t *testing.T) {
+	s := New()
+	var fired []Time
+	if _, err := s.At(1, func(now Time) {
+		fired = append(fired, now)
+		if _, err := s.After(1, func(now Time) { fired = append(fired, now) }); err != nil {
+			t.Errorf("After inside event: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.RunAll()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+}
+
+// Property: for any set of timestamps, events fire in nondecreasing time
+// order and the clock never moves backwards.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r)
+			if _, err := s.At(at, func(now Time) { fired = append(fired, now) }); err != nil {
+				return false
+			}
+		}
+		s.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			want = append(want, float64(r))
+		}
+		sort.Float64s(want)
+		for i := range want {
+			if float64(fired[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestQuickCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		n := 1 + rng.Intn(50)
+		handles := make([]Handle, n)
+		firedCount := 0
+		for i := 0; i < n; i++ {
+			h, err := s.At(Time(rng.Intn(100)), func(Time) { firedCount++ })
+			if err != nil {
+				t.Fatalf("At: %v", err)
+			}
+			handles[i] = h
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				if s.Cancel(handles[i]) {
+					cancelled++
+				}
+			}
+		}
+		s.RunAll()
+		if firedCount != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, firedCount, n-cancelled)
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			_, _ = s.At(Time(j%97), func(Time) {})
+		}
+		s.RunAll()
+	}
+}

@@ -1,0 +1,221 @@
+package dynplace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/control"
+	"dynplace/internal/scheduler"
+)
+
+// Option configures a System.
+type Option func(*settings) error
+
+type settings struct {
+	nodes        []cluster.Node
+	cycleSeconds float64
+	costs        cluster.CostModel
+	costsSet     bool
+
+	policyName string
+	dynamic    bool
+	webNodes   []cluster.NodeID
+
+	epsilon           float64
+	maxPasses         int
+	exactHypothetical bool
+}
+
+// ErrBadOption reports an invalid configuration.
+var ErrBadOption = errors.New("dynplace: invalid option")
+
+// WithUniformCluster adds count identical nodes with the given per-node
+// CPU capacity (MHz) and memory (MB).
+func WithUniformCluster(count int, cpuMHz, memMB float64) Option {
+	return func(s *settings) error {
+		if count <= 0 || cpuMHz <= 0 || memMB <= 0 {
+			return fmt.Errorf("%w: cluster dimensions must be positive", ErrBadOption)
+		}
+		for i := 0; i < count; i++ {
+			s.nodes = append(s.nodes, cluster.Node{CPUMHz: cpuMHz, MemMB: memMB})
+		}
+		return nil
+	}
+}
+
+// WithNode adds one node with the given capacities. Nodes are numbered in
+// the order added, starting at 0.
+func WithNode(name string, cpuMHz, memMB float64) Option {
+	return func(s *settings) error {
+		if cpuMHz <= 0 || memMB <= 0 {
+			return fmt.Errorf("%w: node capacities must be positive", ErrBadOption)
+		}
+		s.nodes = append(s.nodes, cluster.Node{Name: name, CPUMHz: cpuMHz, MemMB: memMB})
+		return nil
+	}
+}
+
+// WithControlCycle sets the control cycle length T in seconds.
+func WithControlCycle(seconds float64) Option {
+	return func(s *settings) error {
+		if seconds <= 0 {
+			return fmt.Errorf("%w: control cycle must be positive", ErrBadOption)
+		}
+		s.cycleSeconds = seconds
+		return nil
+	}
+}
+
+// WithDynamicPlacement manages web applications and batch jobs together
+// on all nodes via the placement controller — the paper's technique.
+func WithDynamicPlacement() Option {
+	return func(s *settings) error {
+		if s.policyName != "" {
+			return fmt.Errorf("%w: dynamic placement excludes WithPolicy", ErrBadOption)
+		}
+		s.dynamic = true
+		return nil
+	}
+}
+
+// WithPolicy schedules batch jobs with the named policy: "apc" (the
+// placement controller restricted to batch work), "edf" (preemptive
+// Earliest Deadline First) or "fcfs" (non-preemptive First-Come
+// First-Served).
+func WithPolicy(name string) Option {
+	return func(s *settings) error {
+		if s.dynamic {
+			return fmt.Errorf("%w: WithPolicy excludes dynamic placement", ErrBadOption)
+		}
+		switch strings.ToLower(name) {
+		case "apc", "edf", "fcfs":
+			s.policyName = strings.ToLower(name)
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown policy %q", ErrBadOption, name)
+		}
+	}
+}
+
+// WithStaticWebPartition dedicates the listed nodes to the web
+// applications (policy mode): batch jobs run on the remaining nodes.
+func WithStaticWebPartition(nodes ...int) Option {
+	return func(s *settings) error {
+		for _, n := range nodes {
+			if n < 0 {
+				return fmt.Errorf("%w: negative node id %d", ErrBadOption, n)
+			}
+			s.webNodes = append(s.webNodes, cluster.NodeID(n))
+		}
+		return nil
+	}
+}
+
+// WithPlacementCosts sets the virtualization action cost model: the
+// per-MB suspend, resume and migration factors and the fixed boot time,
+// in seconds. The defaults are the paper's measured constants
+// (0.0353 s/MB, 0.0333 s/MB, 0.0132 s/MB, 3.6 s).
+func WithPlacementCosts(suspendPerMB, resumePerMB, migratePerMB, bootSeconds float64) Option {
+	return func(s *settings) error {
+		if suspendPerMB < 0 || resumePerMB < 0 || migratePerMB < 0 || bootSeconds < 0 {
+			return fmt.Errorf("%w: costs must be nonnegative", ErrBadOption)
+		}
+		s.costs = cluster.CostModel{
+			SuspendPerMB: suspendPerMB,
+			ResumePerMB:  resumePerMB,
+			MigratePerMB: migratePerMB,
+			BootSeconds:  bootSeconds,
+		}
+		s.costsSet = true
+		return nil
+	}
+}
+
+// WithFreePlacementActions disables placement-action costs (the paper's
+// Experiment Two setting).
+func WithFreePlacementActions() Option {
+	return func(s *settings) error {
+		s.costs = cluster.FreeCostModel()
+		s.costsSet = true
+		return nil
+	}
+}
+
+// WithComparisonResolution sets the utility-comparison resolution ε used
+// by the placement optimizer (default 0.02): configurations tying at
+// this resolution keep the current placement.
+func WithComparisonResolution(eps float64) Option {
+	return func(s *settings) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("%w: resolution must be in (0,1)", ErrBadOption)
+		}
+		s.epsilon = eps
+		return nil
+	}
+}
+
+// WithExactHypothetical switches the batch performance predictor from
+// the paper's sampled-grid interpolation to exact bisection.
+func WithExactHypothetical() Option {
+	return func(s *settings) error {
+		s.exactHypothetical = true
+		return nil
+	}
+}
+
+// WithOptimizerPasses bounds the placement optimizer's improvement
+// sweeps per cycle (default 3).
+func WithOptimizerPasses(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: passes must be positive", ErrBadOption)
+		}
+		s.maxPasses = n
+		return nil
+	}
+}
+
+// build assembles the control-loop configuration.
+func (s *settings) build() (control.Config, error) {
+	if len(s.nodes) == 0 {
+		return control.Config{}, fmt.Errorf("%w: no nodes configured", ErrBadOption)
+	}
+	if s.cycleSeconds == 0 {
+		s.cycleSeconds = 600
+	}
+	if !s.costsSet {
+		s.costs = cluster.DefaultCostModel()
+	}
+	cl, err := cluster.New(s.nodes...)
+	if err != nil {
+		return control.Config{}, err
+	}
+	cfg := control.Config{
+		Cluster:      cl,
+		CycleSeconds: s.cycleSeconds,
+		Costs:        s.costs,
+		WebNodes:     s.webNodes,
+	}
+	switch {
+	case s.dynamic:
+		cfg.Dynamic = &control.DynamicConfig{
+			Epsilon:           s.epsilon,
+			MaxPasses:         s.maxPasses,
+			ExactHypothetical: s.exactHypothetical,
+		}
+	case s.policyName == "" || s.policyName == "apc":
+		cfg.Policy = &scheduler.APC{
+			Costs:             s.costs,
+			Epsilon:           s.epsilon,
+			MaxPasses:         s.maxPasses,
+			ExactHypothetical: s.exactHypothetical,
+		}
+	case s.policyName == "edf":
+		cfg.Policy = scheduler.EDF{}
+	case s.policyName == "fcfs":
+		cfg.Policy = scheduler.FCFS{}
+	}
+	return cfg, nil
+}

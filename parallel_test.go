@@ -1,0 +1,104 @@
+package dynplace
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParallelJobSplitsAndCompletes(t *testing.T) {
+	sys := newTestSystem(t,
+		WithUniformCluster(4, 15600, 16384),
+		WithControlCycle(300),
+		WithPolicy("apc"),
+		WithFreePlacementActions(),
+	)
+	// A job needing 4 node-hours, split 4 ways: finishes in ≈1 h of
+	// wall time instead of being capped by a single processor.
+	if err := sys.SubmitParallelJob(JobSpec{
+		Name:        "mapreduce",
+		WorkMcycles: 4 * 3900 * 3600,
+		MaxSpeedMHz: 3900,
+		MemoryMB:    4320,
+		Submit:      0,
+		Deadline:    2 * 3600,
+	}, 4); err != nil {
+		t.Fatalf("SubmitParallelJob: %v", err)
+	}
+	if err := sys.RunUntilDrained(86400); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	results := sys.JobResults()
+	if len(results) != 4 {
+		t.Fatalf("shards = %d, want 4", len(results))
+	}
+	var latest float64
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, "mapreduce#") {
+			t.Fatalf("shard name %q", r.Name)
+		}
+		if !r.MetGoal {
+			t.Fatalf("shard %s missed the goal (completed %v)", r.Name, r.CompletedAt)
+		}
+		if r.CompletedAt > latest {
+			latest = r.CompletedAt
+		}
+	}
+	// All four shards in parallel: ≈3600 s, far below the 7200 s goal
+	// and a quarter of the serial 14,400 s.
+	if math.Abs(latest-3600) > 400 {
+		t.Fatalf("parallel makespan = %v, want ≈3600", latest)
+	}
+}
+
+func TestParallelJobMultiStage(t *testing.T) {
+	sys := newTestSystem(t,
+		WithUniformCluster(2, 15600, 16384),
+		WithControlCycle(60),
+		WithPolicy("apc"),
+		WithFreePlacementActions(),
+	)
+	if err := sys.SubmitParallelJob(JobSpec{
+		Name: "pipeline",
+		Stages: []Stage{
+			{WorkMcycles: 2 * 3900 * 600, MaxSpeedMHz: 3900, MemoryMB: 4000},
+			{WorkMcycles: 2 * 1000 * 600, MaxSpeedMHz: 1000, MemoryMB: 6000},
+		},
+		Deadline: 4 * 3600,
+	}, 2); err != nil {
+		t.Fatalf("SubmitParallelJob: %v", err)
+	}
+	if err := sys.RunUntilDrained(86400); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range sys.JobResults() {
+		if !r.MetGoal {
+			t.Fatalf("shard %s missed the goal", r.Name)
+		}
+		// Each shard: 600 s stage 1 + 600 s stage 2.
+		if math.Abs(r.CompletedAt-1200) > 200 {
+			t.Fatalf("shard %s completed %v, want ≈1200", r.Name, r.CompletedAt)
+		}
+	}
+}
+
+func TestParallelJobValidation(t *testing.T) {
+	sys := newTestSystem(t,
+		WithUniformCluster(1, 1000, 2000),
+		WithControlCycle(60),
+		WithPolicy("fcfs"),
+	)
+	spec := JobSpec{Name: "x", WorkMcycles: 1000, MaxSpeedMHz: 500,
+		MemoryMB: 100, Deadline: 100}
+	if err := sys.SubmitParallelJob(spec, 0); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("zero shards: %v", err)
+	}
+	// shards == 1 degenerates to a plain submit under the original name.
+	if err := sys.SubmitParallelJob(spec, 1); err != nil {
+		t.Fatalf("single shard: %v", err)
+	}
+	if err := sys.SubmitJob(spec); !errors.Is(err, ErrBadSpec) {
+		t.Fatal("duplicate after single-shard submit not detected")
+	}
+}

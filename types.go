@@ -1,0 +1,175 @@
+package dynplace
+
+import (
+	"errors"
+	"fmt"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/txn"
+)
+
+// Stage is one phase of a multi-stage job profile.
+type Stage struct {
+	// WorkMcycles is the CPU work of the stage in megacycles (MHz·s).
+	WorkMcycles float64
+	// MaxSpeedMHz caps how fast the stage can execute.
+	MaxSpeedMHz float64
+	// MinSpeedMHz is the slowest the stage may run whenever it runs
+	// (0 = no floor).
+	MinSpeedMHz float64
+	// MemoryMB is the stage's memory footprint.
+	MemoryMB float64
+}
+
+// JobSpec describes a batch job and its completion-time goal. For
+// single-stage jobs fill WorkMcycles/MaxSpeedMHz/MemoryMB; multi-stage
+// profiles use Stages instead.
+type JobSpec struct {
+	// Name identifies the job; it must be unique within a System.
+	Name string
+
+	// WorkMcycles, MaxSpeedMHz and MemoryMB describe a single-stage job.
+	// Ignored when Stages is set.
+	WorkMcycles float64
+	MaxSpeedMHz float64
+	MemoryMB    float64
+
+	// Stages is the multi-stage resource usage profile (optional).
+	Stages []Stage
+
+	// Submit is the submission time in seconds of virtual time.
+	Submit float64
+	// DesiredStart is the earliest desired start (default: Submit).
+	DesiredStart float64
+	// Deadline is the completion-time goal τ.
+	Deadline float64
+	// AntiCollocate lists application names (jobs or web apps) this job
+	// must never share a node with.
+	AntiCollocate []string
+}
+
+// ErrBadSpec reports an invalid job or web application specification.
+var ErrBadSpec = errors.New("dynplace: invalid specification")
+
+// toInternal converts and validates the spec.
+func (j JobSpec) toInternal() (*batch.Spec, error) {
+	spec := &batch.Spec{
+		Name:          j.Name,
+		Submit:        j.Submit,
+		DesiredStart:  j.DesiredStart,
+		Deadline:      j.Deadline,
+		AntiCollocate: append([]string(nil), j.AntiCollocate...),
+	}
+	if spec.DesiredStart == 0 {
+		spec.DesiredStart = j.Submit
+	}
+	if len(j.Stages) > 0 {
+		spec.Stages = make([]batch.Stage, len(j.Stages))
+		for i, s := range j.Stages {
+			spec.Stages[i] = batch.Stage{
+				WorkMcycles: s.WorkMcycles,
+				MaxSpeedMHz: s.MaxSpeedMHz,
+				MinSpeedMHz: s.MinSpeedMHz,
+				MemoryMB:    s.MemoryMB,
+			}
+		}
+	} else {
+		spec.Stages = []batch.Stage{{
+			WorkMcycles: j.WorkMcycles,
+			MaxSpeedMHz: j.MaxSpeedMHz,
+			MemoryMB:    j.MemoryMB,
+		}}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return spec, nil
+}
+
+// WebAppSpec describes a transactional application and its response-time
+// goal. The performance model is the paper's open queueing system: mean
+// response time t(ω) = BaseLatency + DemandPerRequest/(ω − λ·c) under an
+// aggregate CPU allocation of ω MHz.
+type WebAppSpec struct {
+	// Name identifies the application; unique within a System.
+	Name string
+	// ArrivalRate is λ, requests per second.
+	ArrivalRate float64
+	// DemandPerRequest is c, the average CPU demand of one request in
+	// megacycles.
+	DemandPerRequest float64
+	// BaseLatency is the CPU-independent response-time floor in seconds.
+	BaseLatency float64
+	// GoalResponseTime is the SLA target τ in seconds.
+	GoalResponseTime float64
+	// MaxPowerMHz caps the useful aggregate allocation (0 = unbounded).
+	MaxPowerMHz float64
+	// MemoryMB is the per-instance footprint.
+	MemoryMB float64
+	// LoadSchedule optionally varies the arrival rate over time: each
+	// phase takes effect at its start time (phases should be listed in
+	// ascending start order). The placement controller reacts at the
+	// next control cycle.
+	LoadSchedule []LoadPhase
+	// AntiCollocate lists application names this one must never share a
+	// node with.
+	AntiCollocate []string
+	// GoalPercentile, when nonzero, makes GoalResponseTime a percentile
+	// target (e.g. 95 = "95th percentile below the goal") instead of a
+	// mean. Valid range (50, 100).
+	GoalPercentile float64
+}
+
+// LoadPhase changes a web application's arrival rate at a point in time.
+type LoadPhase struct {
+	// Start is the phase's begin time (virtual seconds).
+	Start float64
+	// ArrivalRate is λ from Start onward (requests/second).
+	ArrivalRate float64
+}
+
+func (w WebAppSpec) toInternal() (*txn.App, error) {
+	app := &txn.App{
+		Name:             w.Name,
+		ArrivalRate:      w.ArrivalRate,
+		DemandPerRequest: w.DemandPerRequest,
+		BaseLatency:      w.BaseLatency,
+		GoalResponseTime: w.GoalResponseTime,
+		MaxPowerMHz:      w.MaxPowerMHz,
+		MemoryMB:         w.MemoryMB,
+		AntiCollocate:    append([]string(nil), w.AntiCollocate...),
+		GoalPercentile:   w.GoalPercentile,
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return app, nil
+}
+
+// JobResult reports one job's outcome.
+type JobResult struct {
+	// Name is the job's identifier.
+	Name string
+	// Completed reports whether the job finished within the run.
+	Completed bool
+	// CompletedAt is the completion instant (valid when Completed).
+	CompletedAt float64
+	// MetGoal reports completion at or before the deadline.
+	MetGoal bool
+	// DistanceToGoal is deadline − completion (positive = early).
+	DistanceToGoal float64
+	// Utility is the relative performance at completion:
+	// (deadline − completion) / (deadline − desired start).
+	Utility float64
+	// Suspends, Resumes and Migrations count the placement actions the
+	// job experienced.
+	Suspends, Resumes, Migrations int
+}
+
+// Point is one (virtual time, value) sample of a recorded series.
+type Point struct {
+	// Time is the sample instant in seconds of virtual time.
+	Time float64
+	// Value is the sampled quantity.
+	Value float64
+}
