@@ -1,0 +1,118 @@
+// Command dynplaced runs the application placement controller as a live
+// daemon: the control loop re-evaluates web and batch placement every
+// cycle against the current workload registry, swaps the placement in
+// atomically, and republishes request-dispatch weights. Workloads are
+// added, observed and removed over a JSON HTTP API without restarts.
+//
+// Example:
+//
+//	dynplaced -listen :8080 -cluster 4x3000/4096 -cycle 30
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/apps -d '{"app":{"name":"shop",
+//	  "arrivalRate":20,"demandPerRequest":50,"goalResponseTime":0.25,
+//	  "memoryMB":1200}}'
+//	curl -s -X POST localhost:8080/jobs -d '{"relative":true,"job":{
+//	  "name":"nightly","workMcycles":3.9e6,"maxSpeedMHz":3000,
+//	  "memoryMB":2000,"deadline":14400}}'
+//	curl -s localhost:8080/placement
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/control"
+	"dynplace/internal/daemon"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		spec      = flag.String("cluster", "4x3000/4096", "cluster inventory: comma-separated COUNTxCPU_MHZ/MEM_MB groups")
+		cycle     = flag.Float64("cycle", 30, "control cycle length in seconds")
+		queueCap  = flag.Int("queue", 128, "per-app overload-protection queue capacity (0 rejects immediately)")
+		history   = flag.Int("history", 512, "per-cycle snapshots retained for /metrics")
+		epsilon   = flag.Float64("epsilon", 0, "optimizer comparison resolution (0 = default)")
+		passes    = flag.Int("passes", 0, "optimizer improvement passes per cycle (0 = default)")
+		exact     = flag.Bool("exact", false, "use exact bisection for the batch performance predictor")
+		freeCosts = flag.Bool("free-costs", false, "disable placement-action costs (default: the paper's measured constants)")
+		quiet     = flag.Bool("quiet", false, "suppress per-cycle log lines")
+	)
+	flag.Parse()
+
+	cl, err := cluster.Parse(*spec)
+	if err != nil {
+		log.Fatalf("dynplaced: -cluster: %v", err)
+	}
+	costs := cluster.DefaultCostModel()
+	if *freeCosts {
+		costs = cluster.FreeCostModel()
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	qc := *queueCap
+	if qc == 0 {
+		qc = -1 // daemon.Config: negative disables queuing
+	}
+	d, err := daemon.New(daemon.Config{
+		Cluster:      cl,
+		CycleSeconds: *cycle,
+		Costs:        costs,
+		Dynamic: control.DynamicConfig{
+			Epsilon:           *epsilon,
+			MaxPasses:         *passes,
+			ExactHypothetical: *exact,
+		},
+		QueueCap: qc,
+		History:  *history,
+		Logf:     logf,
+	})
+	if err != nil {
+		log.Fatalf("dynplaced: %v", err)
+	}
+	if err := d.Start(); err != nil {
+		log.Fatalf("dynplaced: %v", err)
+	}
+	defer d.Stop()
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("dynplaced: managing %d nodes (%.0f MHz, %.0f MB) on %s, cycle %.1fs",
+		cl.Len(), cl.TotalCPU(), cl.TotalMem(), *listen, *cycle)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("dynplaced: %v", err)
+		}
+	case s := <-sig:
+		fmt.Fprintln(os.Stderr)
+		log.Printf("dynplaced: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("dynplaced: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestBadClusterFlag checks the binary rejects a malformed inventory.
+func TestBadClusterFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	out, err := exec.Command("go", "run", ".", "-cluster", "nonsense").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got: %s", out)
+	}
+	if !strings.Contains(string(out), "-cluster") {
+		t.Errorf("error output %q does not mention -cluster", out)
+	}
+}

@@ -48,4 +48,24 @@
 // WithPolicy("apc"|"edf"|"fcfs") schedules batch jobs only, optionally
 // next to a static web partition (WithStaticWebPartition) — the baseline
 // configurations the paper compares against.
+//
+// # Live daemon
+//
+// Beyond the deterministic simulator, the placement controller also runs
+// as a long-lived service: cmd/dynplaced hosts the control loop from
+// internal/control on a real clock, accepts workload submissions over a
+// JSON HTTP API (POST /apps, POST /jobs), swaps each cycle's placement
+// in atomically, and republishes per-instance CPU shares to the request
+// router as dispatch weights (POST /route/{app} routes one request).
+// GET /placement, GET /metrics and GET /healthz expose the controller's
+// state: current placement with relative-performance values, a
+// ring-buffer history of per-cycle observations, and liveness.
+//
+// The daemon is built on a pluggable clock (internal/daemon.Clock): in
+// production it ticks on wall time; in tests the discrete-event
+// simulation kernel (internal/sim) is the clock, so the entire daemon —
+// HTTP handlers included — can be driven deterministically through
+// virtual time. The simulator and the daemon execute the same planner
+// (internal/control.Planner), which is what makes behavior validated
+// against the paper's experiments carry over to live operation.
 package dynplace

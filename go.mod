@@ -1,0 +1,3 @@
+module dynplace
+
+go 1.24

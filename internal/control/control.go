@@ -22,7 +22,6 @@ import (
 
 	"dynplace/internal/batch"
 	"dynplace/internal/cluster"
-	"dynplace/internal/core"
 	"dynplace/internal/metrics"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/sim"
@@ -89,9 +88,9 @@ type Runner struct {
 	failed   map[cluster.NodeID]bool
 	finishes map[*scheduler.Job]sim.Handle
 
-	// Dynamic-mode state: persisted web placement (node sets per web
-	// app, indexed as in cfg.WebApps).
-	webPlacement [][]cluster.NodeID
+	// planner holds the dynamic-mode controller state (web apps and the
+	// placement carried between cycles). Nil in policy mode.
+	planner *Planner
 
 	// Recorded series.
 	hypoUtil     *metrics.Series // mean hypothetical utility, batch
@@ -130,16 +129,27 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 	}
 	r := &Runner{
-		cfg:          cfg,
-		sim:          sim.New(),
-		actions:      metrics.NewCounter(),
-		failed:       make(map[cluster.NodeID]bool),
-		finishes:     make(map[*scheduler.Job]sim.Handle),
-		webPlacement: make([][]cluster.NodeID, len(cfg.WebApps)),
-		hypoUtil:     metrics.NewSeries("batch hypothetical utility"),
-		batchAlloc:   metrics.NewSeries("batch allocation MHz"),
-		queueLen:     metrics.NewSeries("queued jobs"),
-		changes:      metrics.NewSeries("placement changes"),
+		cfg:        cfg,
+		sim:        sim.New(),
+		actions:    metrics.NewCounter(),
+		failed:     make(map[cluster.NodeID]bool),
+		finishes:   make(map[*scheduler.Job]sim.Handle),
+		hypoUtil:   metrics.NewSeries("batch hypothetical utility"),
+		batchAlloc: metrics.NewSeries("batch allocation MHz"),
+		queueLen:   metrics.NewSeries("queued jobs"),
+		changes:    metrics.NewSeries("placement changes"),
+	}
+	if cfg.Dynamic != nil {
+		p, err := NewPlanner(cfg.Cluster, cfg.Costs, *cfg.Dynamic)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range cfg.WebApps {
+			if err := p.AddWebApp(w); err != nil {
+				return nil, err
+			}
+		}
+		r.planner = p
 	}
 	for _, w := range cfg.WebApps {
 		r.webUtil = append(r.webUtil, metrics.NewSeries(w.Name+" utility"))
@@ -199,14 +209,8 @@ func (r *Runner) FailNode(at float64, node cluster.NodeID) error {
 			}
 		}
 		// Evict web instances placed there (dynamic mode).
-		for i, nodes := range r.webPlacement {
-			keep := nodes[:0]
-			for _, nd := range nodes {
-				if nd != node {
-					keep = append(keep, nd)
-				}
-			}
-			r.webPlacement[i] = keep
+		if r.planner != nil {
+			r.planner.FailNode(node)
 		}
 	})
 	return err
@@ -378,117 +382,25 @@ func (r *Runner) policyCycle(now float64, live []*scheduler.Job) (int, error) {
 }
 
 // dynamicCycle runs the integrated placement controller over web apps and
-// jobs together.
+// jobs together by delegating to the shared Planner.
 func (r *Runner) dynamicCycle(now float64, live []*scheduler.Job) (int, error) {
-	// Alive nodes, densely renumbered for the optimizer.
-	var defs []cluster.Node
-	var toOriginal []cluster.NodeID
-	toDense := make(map[cluster.NodeID]cluster.NodeID)
-	for _, n := range r.cfg.Cluster.Nodes() {
-		if r.failed[n.ID] {
-			continue
-		}
-		toDense[n.ID] = cluster.NodeID(len(defs))
-		toOriginal = append(toOriginal, n.ID)
-		defs = append(defs, cluster.Node{Name: n.Name, CPUMHz: n.CPUMHz, MemMB: n.MemMB})
-	}
-	cl, err := cluster.New(defs...)
+	plan, err := r.planner.Plan(now, r.cfg.CycleSeconds, live)
 	if err != nil {
 		return 0, err
 	}
 
-	nWeb := len(r.cfg.WebApps)
-	apps := make([]*core.Application, 0, nWeb+len(live))
-	current := core.NewPlacement(nWeb + len(live))
-	lastNodes := make([]cluster.NodeID, nWeb+len(live))
-	for i, w := range r.cfg.WebApps {
-		apps = append(apps, &core.Application{
-			Name: w.Name, Kind: core.KindWeb, Web: w, AntiCollocate: w.AntiCollocate,
-		})
-		lastNodes[i] = -1
-		for _, nd := range r.webPlacement[i] {
-			if dense, ok := toDense[nd]; ok {
-				current.Add(i, dense)
-			}
-		}
-	}
-	for k, j := range live {
-		idx := nWeb + k
-		apps = append(apps, &core.Application{
-			Name: j.Spec.Name, Kind: core.KindBatch,
-			Job: j.Spec, Done: j.Done, Started: j.Started,
-			AntiCollocate: j.Spec.AntiCollocate,
-		})
-		lastNodes[idx] = -1
-		if j.LastNode != scheduler.NoNode {
-			if dense, ok := toDense[j.LastNode]; ok {
-				lastNodes[idx] = dense
-			}
-		}
-		if j.Node != scheduler.NoNode {
-			if dense, ok := toDense[j.Node]; ok {
-				current.Add(idx, dense)
-			}
-		}
-	}
-
-	problem := &core.Problem{
-		Cluster:           cl,
-		Now:               now,
-		Cycle:             r.cfg.CycleSeconds,
-		Apps:              apps,
-		Current:           current,
-		LastNode:          lastNodes,
-		Costs:             r.cfg.Costs,
-		Levels:            r.cfg.Dynamic.Levels,
-		ExactHypothetical: r.cfg.Dynamic.ExactHypothetical,
-		Epsilon:           r.cfg.Dynamic.Epsilon,
-		MaxPasses:         r.cfg.Dynamic.MaxPasses,
-	}
-	res, err := core.Optimize(problem)
-	if err != nil {
-		return 0, err
-	}
-
-	// Persist web placement and record web series.
 	for i := range r.cfg.WebApps {
-		nodes := res.Placement.NodesOf(i)
-		orig := make([]cluster.NodeID, 0, len(nodes))
-		for _, nd := range nodes {
-			orig = append(orig, toOriginal[nd])
-		}
-		r.webPlacement[i] = orig
-		r.webAlloc[i].Add(now, res.Eval.PerApp[i])
-		r.webUtil[i].Add(now, res.Eval.Utilities[i])
+		r.webAlloc[i].Add(now, plan.WebAllocMHz[i])
+		r.webUtil[i].Add(now, plan.WebUtilities[i])
 	}
 
-	// Apply job assignments.
-	var asg []scheduler.Assignment
-	for k, j := range live {
-		idx := nWeb + k
-		nodes := res.Placement.NodesOf(idx)
-		if len(nodes) == 0 {
-			continue
-		}
-		asg = append(asg, scheduler.Assignment{
-			Job:      j,
-			Node:     toOriginal[nodes[0]],
-			SpeedMHz: res.Eval.PerApp[idx],
-		})
-	}
-	changed := scheduler.Apply(now, live, asg, r.cfg.Costs, r.actions)
+	changed := scheduler.Apply(now, live, plan.Assignments, r.cfg.Costs, r.actions)
 
-	r.batchAlloc.Add(now, res.Eval.OmegaG)
+	r.batchAlloc.Add(now, plan.OmegaG)
 	// The batch utilities in the evaluation are exactly the mean
 	// hypothetical relative performance the paper plots.
-	var sum float64
-	count := 0
-	for idx := nWeb; idx < len(apps); idx++ {
-		sum += res.Eval.Utilities[idx]
-		count++
-	}
-	if count > 0 {
-		r.hypoUtil.Add(now, sum/float64(count))
+	if mean, ok := plan.BatchUtilityMean(); ok {
+		r.hypoUtil.Add(now, mean)
 	}
 	return changed, nil
 }

@@ -1,0 +1,289 @@
+package control
+
+import (
+	"fmt"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+	"dynplace/internal/scheduler"
+	"dynplace/internal/txn"
+)
+
+// Planner is the persistent core of the integrated placement controller,
+// decoupled from any particular driver. It owns the web-application set
+// and the placement carried between cycles; each call to Plan evaluates
+// the cluster state at one instant and returns the placement decision for
+// the next cycle. The simulated Runner and the live daemon both delegate
+// their dynamic-mode cycles to a Planner, so the control logic exercised
+// under virtual time is exactly the logic serving real traffic.
+//
+// A Planner is not safe for concurrent use; drivers serialize access.
+type Planner struct {
+	cluster *cluster.Cluster
+	costs   cluster.CostModel
+	dyn     DynamicConfig
+
+	webApps      []*txn.App
+	webPlacement [][]cluster.NodeID
+	failed       map[cluster.NodeID]bool
+}
+
+// NewPlanner prepares a planner for the given inventory, cost model and
+// optimizer tuning.
+func NewPlanner(cl *cluster.Cluster, costs cluster.CostModel, dyn DynamicConfig) (*Planner, error) {
+	if cl == nil || cl.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty cluster", ErrBadConfig)
+	}
+	return &Planner{
+		cluster: cl,
+		costs:   costs,
+		dyn:     dyn,
+		failed:  make(map[cluster.NodeID]bool),
+	}, nil
+}
+
+// AddWebApp registers a transactional application with the controller. The
+// app joins the optimization at the next Plan call.
+func (p *Planner) AddWebApp(app *txn.App) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	for _, w := range p.webApps {
+		if w.Name == app.Name {
+			return fmt.Errorf("%w: duplicate web app %q", ErrBadConfig, app.Name)
+		}
+	}
+	p.webApps = append(p.webApps, app)
+	p.webPlacement = append(p.webPlacement, nil)
+	return nil
+}
+
+// RemoveWebApp drops the named application and its placement. It reports
+// whether the app was registered.
+func (p *Planner) RemoveWebApp(name string) bool {
+	for i, w := range p.webApps {
+		if w.Name == name {
+			p.webApps = append(p.webApps[:i], p.webApps[i+1:]...)
+			p.webPlacement = append(p.webPlacement[:i], p.webPlacement[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WebApps returns the registered applications in registration order. The
+// returned slice is a copy; the apps themselves are shared.
+func (p *Planner) WebApps() []*txn.App {
+	out := make([]*txn.App, len(p.webApps))
+	copy(out, p.webApps)
+	return out
+}
+
+// WebApp returns the named application, if registered.
+func (p *Planner) WebApp(name string) (*txn.App, bool) {
+	for _, w := range p.webApps {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// SetArrivalRate updates the named application's request arrival rate λ —
+// the sensor input the controller reacts to at its next cycle. It reports
+// whether the app was registered.
+func (p *Planner) SetArrivalRate(name string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	w, ok := p.WebApp(name)
+	if !ok {
+		return false
+	}
+	w.ArrivalRate = rate
+	return true
+}
+
+// FailNode marks a node as dead: its capacity stops being offered to the
+// optimizer and web instances placed on it are evicted immediately.
+func (p *Planner) FailNode(id cluster.NodeID) {
+	p.failed[id] = true
+	for i, nodes := range p.webPlacement {
+		keep := nodes[:0]
+		for _, nd := range nodes {
+			if nd != id {
+				keep = append(keep, nd)
+			}
+		}
+		p.webPlacement[i] = keep
+	}
+}
+
+// WebInstance is one placed instance of a web application in a Plan.
+type WebInstance struct {
+	// Node identifies the hosting node (original cluster numbering).
+	Node cluster.NodeID
+	// PowerMHz is the CPU share this instance receives — the dispatch
+	// weight the request router should use.
+	PowerMHz float64
+}
+
+// Plan is one cycle's placement decision.
+type Plan struct {
+	// Web holds, per registered web app (registration order), the placed
+	// instances with their per-node CPU shares.
+	Web [][]WebInstance
+	// WebAllocMHz is each web app's aggregate allocation.
+	WebAllocMHz []float64
+	// WebUtilities is each web app's predicted relative performance.
+	WebUtilities []float64
+	// Assignments directs the live batch jobs; jobs without an entry are
+	// to be suspended. Apply them with scheduler.Apply.
+	Assignments []scheduler.Assignment
+	// BatchUtilities is the predicted relative performance of each live
+	// job, parallel to the live slice passed to Plan.
+	BatchUtilities []float64
+	// OmegaG is the aggregate CPU devoted to batch work.
+	OmegaG float64
+	// Changes counts instance-level placement differences the optimizer
+	// introduced relative to the carried placement.
+	Changes int
+}
+
+// BatchUtilityMean returns the mean predicted relative performance over
+// the batch workload (the paper's hypothetical-utility series), or 0 with
+// ok=false when no jobs were live.
+func (pl *Plan) BatchUtilityMean() (float64, bool) {
+	if len(pl.BatchUtilities) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, u := range pl.BatchUtilities {
+		sum += u
+	}
+	return sum / float64(len(pl.BatchUtilities)), true
+}
+
+// Plan runs one control-cycle optimization at time now over the
+// registered web apps and the given live (submitted, incomplete) jobs.
+// Jobs must already be advanced to now. The chosen web placement is
+// persisted inside the planner so the next cycle starts from it; applying
+// the returned batch assignments is the caller's responsibility.
+func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error) {
+	// Alive nodes, densely renumbered for the optimizer.
+	var defs []cluster.Node
+	var toOriginal []cluster.NodeID
+	toDense := make(map[cluster.NodeID]cluster.NodeID)
+	for _, n := range p.cluster.Nodes() {
+		if p.failed[n.ID] {
+			continue
+		}
+		toDense[n.ID] = cluster.NodeID(len(defs))
+		toOriginal = append(toOriginal, n.ID)
+		defs = append(defs, cluster.Node{Name: n.Name, CPUMHz: n.CPUMHz, MemMB: n.MemMB})
+	}
+	cl, err := cluster.New(defs...)
+	if err != nil {
+		return nil, err
+	}
+
+	nWeb := len(p.webApps)
+	plan := &Plan{
+		Web:            make([][]WebInstance, nWeb),
+		WebAllocMHz:    make([]float64, nWeb),
+		WebUtilities:   make([]float64, nWeb),
+		BatchUtilities: make([]float64, len(live)),
+	}
+	if nWeb+len(live) == 0 {
+		return plan, nil
+	}
+
+	apps := make([]*core.Application, 0, nWeb+len(live))
+	current := core.NewPlacement(nWeb + len(live))
+	lastNodes := make([]cluster.NodeID, nWeb+len(live))
+	for i, w := range p.webApps {
+		apps = append(apps, &core.Application{
+			Name: w.Name, Kind: core.KindWeb, Web: w, AntiCollocate: w.AntiCollocate,
+		})
+		lastNodes[i] = -1
+		for _, nd := range p.webPlacement[i] {
+			if dense, ok := toDense[nd]; ok {
+				current.Add(i, dense)
+			}
+		}
+	}
+	for k, j := range live {
+		idx := nWeb + k
+		apps = append(apps, &core.Application{
+			Name: j.Spec.Name, Kind: core.KindBatch,
+			Job: j.Spec, Done: j.Done, Started: j.Started,
+			AntiCollocate: j.Spec.AntiCollocate,
+		})
+		lastNodes[idx] = -1
+		if j.LastNode != scheduler.NoNode {
+			if dense, ok := toDense[j.LastNode]; ok {
+				lastNodes[idx] = dense
+			}
+		}
+		if j.Node != scheduler.NoNode {
+			if dense, ok := toDense[j.Node]; ok {
+				current.Add(idx, dense)
+			}
+		}
+	}
+
+	problem := &core.Problem{
+		Cluster:           cl,
+		Now:               now,
+		Cycle:             cycle,
+		Apps:              apps,
+		Current:           current,
+		LastNode:          lastNodes,
+		Costs:             p.costs,
+		Levels:            p.dyn.Levels,
+		ExactHypothetical: p.dyn.ExactHypothetical,
+		Epsilon:           p.dyn.Epsilon,
+		MaxPasses:         p.dyn.MaxPasses,
+	}
+	res, err := core.Optimize(problem)
+	if err != nil {
+		return nil, err
+	}
+
+	// Persist web placement and report instances with their shares.
+	for i := range p.webApps {
+		nodes := res.Placement.NodesOf(i)
+		shares := res.Eval.WebShares[i]
+		orig := make([]cluster.NodeID, 0, len(nodes))
+		instances := make([]WebInstance, 0, len(nodes))
+		for k, nd := range nodes {
+			orig = append(orig, toOriginal[nd])
+			in := WebInstance{Node: toOriginal[nd]}
+			if k < len(shares) {
+				in.PowerMHz = shares[k]
+			}
+			instances = append(instances, in)
+		}
+		p.webPlacement[i] = orig
+		plan.Web[i] = instances
+		plan.WebAllocMHz[i] = res.Eval.PerApp[i]
+		plan.WebUtilities[i] = res.Eval.Utilities[i]
+	}
+
+	for k, j := range live {
+		idx := nWeb + k
+		plan.BatchUtilities[k] = res.Eval.Utilities[idx]
+		nodes := res.Placement.NodesOf(idx)
+		if len(nodes) == 0 {
+			continue
+		}
+		plan.Assignments = append(plan.Assignments, scheduler.Assignment{
+			Job:      j,
+			Node:     toOriginal[nodes[0]],
+			SpeedMHz: res.Eval.PerApp[idx],
+		})
+	}
+	plan.OmegaG = res.Eval.OmegaG
+	plan.Changes = res.Changes
+	return plan, nil
+}

@@ -1,0 +1,133 @@
+package control
+
+import (
+	"errors"
+	"testing"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/metrics"
+	"dynplace/internal/scheduler"
+	"dynplace/internal/txn"
+)
+
+func testPlanner(t *testing.T) *Planner {
+	t.Helper()
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testApp(name string, rate float64) *txn.App {
+	return &txn.App{
+		Name: name, ArrivalRate: rate, DemandPerRequest: 50,
+		BaseLatency: 0.02, GoalResponseTime: 0.25, MemoryMB: 800,
+	}
+}
+
+func TestPlannerRegistry(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddWebApp(testApp("a", 5)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("duplicate AddWebApp err = %v, want ErrBadConfig", err)
+	}
+	if err := p.AddWebApp(&txn.App{Name: "broken"}); err == nil {
+		t.Error("invalid app accepted")
+	}
+	if !p.SetArrivalRate("a", 12) {
+		t.Error("SetArrivalRate failed for registered app")
+	}
+	if w, _ := p.WebApp("a"); w.ArrivalRate != 12 {
+		t.Errorf("ArrivalRate = %v, want 12", w.ArrivalRate)
+	}
+	if p.SetArrivalRate("a", -1) || p.SetArrivalRate("ghost", 5) {
+		t.Error("SetArrivalRate accepted invalid input")
+	}
+	if !p.RemoveWebApp("a") || p.RemoveWebApp("a") {
+		t.Error("RemoveWebApp idempotence broken")
+	}
+	if len(p.WebApps()) != 0 {
+		t.Errorf("WebApps = %v, want empty", p.WebApps())
+	}
+}
+
+func TestPlannerEmptyPlan(t *testing.T) {
+	p := testPlanner(t)
+	plan, err := p.Plan(0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 0 || plan.OmegaG != 0 {
+		t.Errorf("empty plan = %+v, want no work", plan)
+	}
+	if _, ok := plan.BatchUtilityMean(); ok {
+		t.Error("BatchUtilityMean reported ok with no jobs")
+	}
+}
+
+func TestPlannerPlacesAndCarriesState(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("web", 5)); err != nil {
+		t.Fatal(err)
+	}
+	spec := &batch.Spec{
+		Name:   "job",
+		Stages: []batch.Stage{{WorkMcycles: 1e6, MaxSpeedMHz: 2500, MemoryMB: 500}},
+		Submit: 0, DesiredStart: 0, Deadline: 1200,
+	}
+	job := scheduler.NewJob(spec)
+	live := []*scheduler.Job{job}
+
+	plan, err := p.Plan(0, 60, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Web[0]) == 0 || plan.WebAllocMHz[0] <= 0 {
+		t.Fatalf("web app unplaced: %+v", plan)
+	}
+	if len(plan.Assignments) != 1 || plan.Assignments[0].SpeedMHz <= 0 {
+		t.Fatalf("job unassigned: %+v", plan.Assignments)
+	}
+	var weights float64
+	for _, in := range plan.Web[0] {
+		weights += in.PowerMHz
+	}
+	if diff := weights - plan.WebAllocMHz[0]; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("instance shares sum %v != app allocation %v", weights, plan.WebAllocMHz[0])
+	}
+
+	// Failing the web app's node evicts it; the next plan must recover
+	// onto the surviving node only.
+	failed := plan.Web[0][0].Node
+	p.FailNode(failed)
+	scheduler.Apply(0, live, plan.Assignments, cluster.FreeCostModel(), metrics.NewCounter())
+	if job.Node == failed {
+		// The job was on the failed node too; reflect the failure as the
+		// runner does before replanning.
+		job.Node = scheduler.NoNode
+		job.Status = scheduler.Suspended
+		job.SpeedMHz = 0
+	}
+	plan2, err := p.Plan(60, 60, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range plan2.Web[0] {
+		if in.Node == failed {
+			t.Errorf("web instance still on failed node %d", failed)
+		}
+	}
+	for _, a := range plan2.Assignments {
+		if a.Node == failed {
+			t.Errorf("job assigned to failed node %d", failed)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+
+	"dynplace"
+	"dynplace/internal/control"
+	"dynplace/internal/router"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET    /healthz            liveness and cycle progress
+//	GET    /placement          the latest placement snapshot
+//	GET    /metrics            counters, router stats, cycle history
+//	GET    /apps               registered web application names
+//	POST   /apps               register a web application
+//	DELETE /apps/{name}        deregister a web application
+//	POST   /apps/{name}/load   update an application's arrival rate
+//	POST   /route/{name}       dispatch one request through the router
+//	GET    /jobs               job outcomes so far
+//	POST   /jobs               submit a batch job
+//
+// Bodies and responses are JSON; workload specs use the library's public
+// spec types (dynplace.WebAppSpec, dynplace.JobSpec).
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /placement", d.handlePlacement)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /apps", d.handleListApps)
+	mux.HandleFunc("POST /apps", d.handleAddApp)
+	mux.HandleFunc("DELETE /apps/{name}", d.handleRemoveApp)
+	mux.HandleFunc("POST /apps/{name}/load", d.handleSetLoad)
+	mux.HandleFunc("POST /route/{name}", d.handleRoute)
+	mux.HandleFunc("GET /jobs", d.handleJobs)
+	mux.HandleFunc("POST /jobs", d.handleSubmitJob)
+	return mux
+}
+
+// AddAppRequest is the POST /apps body. Relative interprets the load
+// schedule's phase times as offsets from the current clock reading.
+type AddAppRequest struct {
+	App      dynplace.WebAppSpec `json:"app"`
+	Relative bool                `json:"relative,omitempty"`
+}
+
+// SubmitJobRequest is the POST /jobs body. Relative interprets Submit,
+// DesiredStart and Deadline as offsets from the current clock reading.
+type SubmitJobRequest struct {
+	Job      dynplace.JobSpec `json:"job"`
+	Relative bool             `json:"relative,omitempty"`
+}
+
+// SetLoadRequest is the POST /apps/{name}/load body.
+type SetLoadRequest struct {
+	ArrivalRate float64 `json:"arrivalRate"`
+}
+
+// RouteResponse is the POST /route/{name} body on success.
+type RouteResponse struct {
+	Node   string `json:"node,omitempty"`
+	Queued bool   `json:"queued,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies; workload specs are tiny, so 1 MiB
+// is generous while keeping a hostile client from ballooning memory.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.Health())
+}
+
+func (d *Daemon) handlePlacement(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.Placement())
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.Metrics())
+}
+
+func (d *Daemon) handleListApps(w http.ResponseWriter, _ *http.Request) {
+	names := d.WebAppNames()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"apps": names})
+}
+
+func (d *Daemon) handleAddApp(w http.ResponseWriter, r *http.Request) {
+	var req AddAppRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.AddWebApp(req.App, req.Relative); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"added": req.App.Name})
+}
+
+func (d *Daemon) handleRemoveApp(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.RemoveWebApp(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (d *Daemon) handleSetLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req SetLoadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.SetArrivalRate(name, req.ArrivalRate); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"app": name, "arrivalRate": req.ArrivalRate})
+}
+
+func (d *Daemon) handleRoute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	node, err := d.router.Dispatch(name, rand.Float64())
+	switch {
+	case err == nil && node != "":
+		writeJSON(w, http.StatusOK, RouteResponse{Node: node})
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, RouteResponse{Queued: true})
+	default:
+		status := http.StatusNotFound
+		if errors.Is(err, router.ErrRejected) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+	}
+}
+
+func (d *Daemon) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	results := d.JobResults()
+	if results == nil {
+		results = []dynplace.JobResult{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": results})
+}
+
+func (d *Daemon) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req SubmitJobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.SubmitJob(req.Job, req.Relative); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"submitted": req.Job.Name})
+}
+
+// statusFor maps domain errors onto HTTP statuses: bad specs and bad
+// requests are the client's fault; anything else is ours.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, dynplace.ErrBadSpec), errors.Is(err, ErrDaemon),
+		errors.Is(err, control.ErrBadConfig):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

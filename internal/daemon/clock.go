@@ -1,0 +1,108 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+
+	"dynplace/internal/sim"
+)
+
+// Clock abstracts the daemon's notion of time so the same control-loop
+// code runs against wall-clock timers in production and against the
+// deterministic simulation kernel in tests. Time is a float64 second
+// count since the clock's origin, matching the virtual-time convention
+// used throughout the library.
+type Clock interface {
+	// Now returns the current time in seconds since the clock's origin.
+	Now() float64
+	// After schedules fn to run d seconds from now, passing the firing
+	// time. The returned cancel function stops the callback if it has
+	// not fired yet and reports whether it was still pending.
+	After(d float64, fn func(now float64)) (cancel func() bool)
+}
+
+// WallClock is the production clock: real time measured from its
+// construction, with callbacks fired by runtime timers on their own
+// goroutines.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a wall clock whose origin is the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the seconds elapsed since the clock was created.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// After fires fn on a timer goroutine after d seconds.
+func (c *WallClock) After(d float64, fn func(now float64)) func() bool {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(time.Duration(d*float64(time.Second)), func() { fn(c.Now()) })
+	return t.Stop
+}
+
+// SimClock adapts the discrete-event simulation kernel into a Clock: the
+// existing simulator becomes the daemon's time source, so an entire live
+// daemon — control loop, placement swaps, HTTP API — can be driven
+// through deterministic virtual time in tests. Time only moves when the
+// test calls Advance; callbacks fire inline, in timestamp order, on the
+// advancing goroutine.
+//
+// Now, After and cancel are safe to call from any goroutine (HTTP
+// handlers race with the control loop in tests too). Advance itself must
+// only be called from one goroutine at a time, and never from inside a
+// callback.
+type SimClock struct {
+	mu  sync.Mutex
+	sim *sim.Simulator
+}
+
+// NewSimClock returns a virtual clock at time zero.
+func NewSimClock() *SimClock { return &SimClock{sim: sim.New()} }
+
+// Now returns the current virtual time in seconds.
+func (c *SimClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sim.Now().Seconds()
+}
+
+// After schedules fn at now+d on the simulation agenda.
+func (c *SimClock) After(d float64, fn func(now float64)) func() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	h, err := c.sim.After(d, func(t sim.Time) {
+		// Events fire inside Advance, which holds mu. Release it around
+		// the callback so the callback can read the clock and schedule
+		// its successor cycle without deadlocking.
+		c.mu.Unlock()
+		defer c.mu.Lock()
+		fn(t.Seconds())
+	})
+	if err != nil {
+		return func() bool { return false }
+	}
+	return func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.sim.Cancel(h)
+	}
+}
+
+// Advance moves virtual time forward by d seconds, firing every callback
+// scheduled in the window (inclusive of the end instant) in timestamp
+// order. It returns the new current time.
+func (c *SimClock) Advance(d float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	target := c.sim.Now().Add(d)
+	return c.sim.Run(target).Seconds()
+}

@@ -1,0 +1,509 @@
+// Package daemon hosts the application placement controller as a
+// long-running service: the control loop from internal/control runs on a
+// clock tick instead of a simulation schedule, workloads arrive over an
+// HTTP API instead of a pre-registered trace, and each cycle's placement
+// is swapped in atomically and republished to the request router as
+// dispatch weights.
+//
+// The daemon is clock-agnostic (see Clock): under a WallClock it is the
+// production dynplaced process; under a SimClock the identical code path
+// — HTTP handlers included — runs deterministically in tests, which is
+// how the control behavior validated against the paper's simulations
+// carries over unchanged to live operation.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dynplace"
+	"dynplace/internal/cluster"
+	"dynplace/internal/control"
+	"dynplace/internal/metrics"
+	"dynplace/internal/router"
+	"dynplace/internal/scheduler"
+)
+
+// Config describes a daemon instance.
+type Config struct {
+	// Cluster is the managed hardware inventory.
+	Cluster *cluster.Cluster
+	// CycleSeconds is the control cycle length T.
+	CycleSeconds float64
+	// Costs is the placement-action cost model (zero value = free).
+	Costs cluster.CostModel
+	// Dynamic tunes the placement optimizer.
+	Dynamic control.DynamicConfig
+	// Clock is the time source (default: a new WallClock).
+	Clock Clock
+	// QueueCap bounds each application's overload-protection queue in
+	// the request router: positive sets the depth, 0 selects the default
+	// of 128, and negative disables queuing so capacity-less requests
+	// are rejected immediately.
+	QueueCap int
+	// History is the number of per-cycle snapshots retained for the
+	// metrics endpoint (default 512).
+	History int
+	// RetainJobs is the number of completed job results kept for the
+	// jobs endpoint (default 1024). Completed jobs are pruned from the
+	// control loop's working set so daemon memory and per-cycle work
+	// stay bounded under a steady submission stream.
+	RetainJobs int
+	// Logf, when set, receives one summary line per control cycle.
+	Logf func(format string, args ...any)
+}
+
+// ErrDaemon reports an invalid daemon configuration or request.
+var ErrDaemon = errors.New("daemon: invalid configuration or request")
+
+// ErrNotFound reports an operation on a workload the daemon does not
+// know (HTTP 404, as opposed to ErrDaemon's 400).
+var ErrNotFound = errors.New("daemon: not found")
+
+// Daemon is the live control-loop runtime. All its methods are safe for
+// concurrent use; the HTTP handlers are thin wrappers over them.
+type Daemon struct {
+	cfg   Config
+	clock Clock
+
+	mu      sync.Mutex
+	planner *control.Planner
+	router  *router.Router
+	jobs    []*scheduler.Job
+	// jobSeen keeps every name ever submitted so job identities stay
+	// unambiguous for the API's lifetime; unlike the Job records it
+	// grows only by a small string per submission.
+	jobSeen       map[string]bool
+	completed     *metrics.Ring[dynplace.JobResult]
+	loadSchedules map[string][]dynplace.LoadPhase
+	actions       *metrics.Counter
+	history       *metrics.Ring[CycleSnapshot]
+	running       bool
+	runGen        int
+	cancelTick    func() bool
+
+	// cycles and placement are written under mu but read lock-free so
+	// /healthz and /placement never wait out an optimization pass.
+	cycles    atomic.Int64
+	placement atomic.Pointer[PlacementSnapshot]
+}
+
+// New validates the configuration and builds a stopped daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty cluster", ErrDaemon)
+	}
+	if cfg.CycleSeconds <= 0 {
+		return nil, fmt.Errorf("%w: cycle must be positive", ErrDaemon)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewWallClock()
+	}
+	switch {
+	case cfg.QueueCap == 0:
+		cfg.QueueCap = 128
+	case cfg.QueueCap < 0:
+		cfg.QueueCap = 0 // router treats 0 as queuing disabled
+	}
+	if cfg.History <= 0 {
+		cfg.History = 512
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	planner, err := control.NewPlanner(cfg.Cluster, cfg.Costs, cfg.Dynamic)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:           cfg,
+		clock:         cfg.Clock,
+		planner:       planner,
+		router:        router.New(cfg.QueueCap),
+		jobSeen:       make(map[string]bool),
+		completed:     metrics.NewRing[dynplace.JobResult](cfg.RetainJobs),
+		loadSchedules: make(map[string][]dynplace.LoadPhase),
+		actions:       metrics.NewCounter(),
+		history:       metrics.NewRing[CycleSnapshot](cfg.History),
+	}
+	d.placement.Store(&PlacementSnapshot{
+		Web:  []WebPlacementView{},
+		Jobs: []JobPlacementView{},
+	})
+	return d, nil
+}
+
+// Start begins running control cycles, the first one immediately.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return fmt.Errorf("%w: already started", ErrDaemon)
+	}
+	d.running = true
+	// The generation token invalidates ticks from a previous Start whose
+	// timers had already fired but were still waiting on d.mu when Stop
+	// ran — otherwise a Stop+Start could leave two tick chains running.
+	d.runGen++
+	gen := d.runGen
+	d.cancelTick = d.clock.After(0, func(now float64) { d.tick(gen, now) })
+	return nil
+}
+
+// Stop halts the control loop. Workload state is retained; Start may be
+// called again.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.running {
+		return
+	}
+	d.running = false
+	if d.cancelTick != nil {
+		d.cancelTick()
+		d.cancelTick = nil
+	}
+}
+
+// Now returns the daemon clock's current time in seconds.
+func (d *Daemon) Now() float64 { return d.clock.Now() }
+
+// Router exposes the request router so traffic drivers can dispatch
+// against the current placement.
+func (d *Daemon) Router() *router.Router { return d.router }
+
+// Placement returns the most recent placement snapshot without blocking
+// on the control loop.
+func (d *Daemon) Placement() *PlacementSnapshot { return d.placement.Load() }
+
+// AddWebApp registers a transactional application. When relative is true
+// the spec's load-schedule phase times are interpreted as offsets from
+// the current clock reading. The app joins the placement at the next
+// control cycle.
+func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
+	app, err := dynplace.CompileWebApp(spec)
+	if err != nil {
+		return err
+	}
+	now := d.clock.Now()
+	phases := append([]dynplace.LoadPhase(nil), spec.LoadSchedule...)
+	if relative {
+		for i := range phases {
+			phases[i].Start += now
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.planner.AddWebApp(app); err != nil {
+		return err
+	}
+	// Seed a capacity-less routing entry so requests arriving before the
+	// first cycle places the app are queued by overload protection
+	// instead of bouncing as "unknown application".
+	d.router.Update(spec.Name, nil)
+	if len(phases) > 0 {
+		d.loadSchedules[spec.Name] = phases
+	}
+	return nil
+}
+
+// RemoveWebApp deregisters the named application and withdraws its
+// routing entry.
+func (d *Daemon) RemoveWebApp(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.planner.RemoveWebApp(name) {
+		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
+	}
+	delete(d.loadSchedules, name)
+	d.router.Remove(name)
+	return nil
+}
+
+// SetArrivalRate updates the named application's observed request rate —
+// the live-sensor input the controller reacts to at its next cycle.
+func (d *Daemon) SetArrivalRate(name string, rate float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rate <= 0 {
+		return fmt.Errorf("%w: arrival rate must be positive", ErrDaemon)
+	}
+	if !d.planner.SetArrivalRate(name, rate) {
+		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
+	}
+	// A manual override supersedes any remaining scheduled phases.
+	delete(d.loadSchedules, name)
+	return nil
+}
+
+// SubmitJob registers a batch job. When relative is true the spec's
+// Submit, DesiredStart and Deadline are interpreted as offsets from the
+// current clock reading, which is the natural encoding for live
+// submissions ("finish within the next hour").
+func (d *Daemon) SubmitJob(spec dynplace.JobSpec, relative bool) error {
+	internal, err := dynplace.CompileJob(spec)
+	if err != nil {
+		return err
+	}
+	if relative {
+		now := d.clock.Now()
+		internal.Submit += now
+		internal.DesiredStart += now
+		internal.Deadline += now
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.jobSeen[internal.Name] {
+		return fmt.Errorf("%w: duplicate job %q", ErrDaemon, internal.Name)
+	}
+	d.jobSeen[internal.Name] = true
+	d.jobs = append(d.jobs, scheduler.NewJob(internal))
+	return nil
+}
+
+// JobResults reports job outcomes: the retained completed jobs
+// (oldest-first) followed by the in-flight ones in submission order.
+func (d *Daemon) JobResults() []dynplace.JobResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.completed.Snapshot()
+	for _, j := range d.jobs {
+		out = append(out, jobResult(j))
+	}
+	return out
+}
+
+func jobResult(j *scheduler.Job) dynplace.JobResult {
+	r := dynplace.JobResult{
+		Name:       j.Spec.Name,
+		Completed:  j.Status == scheduler.Completed,
+		Suspends:   j.Suspends,
+		Resumes:    j.Resumes,
+		Migrations: j.Migrations,
+	}
+	if r.Completed {
+		r.CompletedAt = j.CompletedAt
+		r.MetGoal = j.MetGoal()
+		r.DistanceToGoal = j.DistanceToGoal()
+		r.Utility = j.Spec.UtilityAtCompletion(j.CompletedAt)
+	}
+	return r
+}
+
+// Health summarizes liveness for the health endpoint. It reads only
+// lock-free state (the last published snapshot), so probes answer
+// immediately even while an optimization pass holds the daemon lock;
+// the workload counts are as of the last completed cycle.
+func (d *Daemon) Health() HealthView {
+	snap := d.placement.Load()
+	return HealthView{
+		Status:       "ok",
+		Now:          d.clock.Now(),
+		CycleSeconds: d.cfg.CycleSeconds,
+		Cycles:       d.cycles.Load(),
+		WebApps:      len(snap.Web),
+		LiveJobs:     len(snap.Jobs),
+	}
+}
+
+// Metrics assembles the observability view for the metrics endpoint.
+func (d *Daemon) Metrics() MetricsView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	actions := make(map[string]int)
+	for _, name := range d.actions.Names() {
+		actions[name] = d.actions.Get(name)
+	}
+	return MetricsView{
+		Now:     d.clock.Now(),
+		Cycles:  d.cycles.Load(),
+		Actions: actions,
+		Router:  d.router.Snapshot(),
+		History: d.history.Snapshot(),
+	}
+}
+
+// WebAppNames returns the registered applications in sorted order.
+func (d *Daemon) WebAppNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var names []string
+	for _, w := range d.planner.WebApps() {
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// liveJobs returns submitted, incomplete jobs at now. Callers hold d.mu.
+func (d *Daemon) liveJobs(now float64) []*scheduler.Job {
+	out := make([]*scheduler.Job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		if j.Status == scheduler.Completed || j.Spec.Submit > now {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// applyLoadSchedules advances each app's arrival rate to the latest
+// scheduled phase that has begun, then prunes the phases that have taken
+// effect so the schedule shrinks to nothing over time. Callers hold d.mu.
+func (d *Daemon) applyLoadSchedules(now float64) {
+	for name, phases := range d.loadSchedules {
+		var future []dynplace.LoadPhase
+		for _, ph := range phases {
+			if ph.Start > now {
+				future = append(future, ph)
+				continue
+			}
+			if ph.ArrivalRate > 0 {
+				d.planner.SetArrivalRate(name, ph.ArrivalRate)
+			}
+		}
+		switch {
+		case len(future) == 0:
+			delete(d.loadSchedules, name)
+		case len(future) != len(phases):
+			d.loadSchedules[name] = future
+		}
+	}
+}
+
+// tick runs one control cycle and schedules the next one. Ticks carry
+// the generation they were scheduled under; a stale generation means the
+// daemon was stopped (and possibly restarted) since this tick's timer
+// fired, so it must not run or reschedule.
+func (d *Daemon) tick(gen int, now float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.running || gen != d.runGen {
+		return
+	}
+	d.runCycle(now)
+	d.cancelTick = d.clock.After(d.cfg.CycleSeconds, func(t float64) { d.tick(gen, t) })
+}
+
+// runCycle is one control-loop iteration: observe, plan, act, publish.
+// Callers hold d.mu.
+func (d *Daemon) runCycle(now float64) {
+	d.applyLoadSchedules(now)
+	for _, j := range d.jobs {
+		if j.Spec.Submit <= now {
+			j.AdvanceTo(now)
+		}
+	}
+	// Retire completed jobs into the bounded results ring so the working
+	// set the loop scans each cycle stays proportional to live work.
+	keep := d.jobs[:0]
+	for _, j := range d.jobs {
+		if j.Status == scheduler.Completed {
+			d.completed.Push(jobResult(j))
+			continue
+		}
+		keep = append(keep, j)
+	}
+	for i := len(keep); i < len(d.jobs); i++ {
+		d.jobs[i] = nil
+	}
+	d.jobs = keep
+	live := d.liveJobs(now)
+
+	plan, err := d.planner.Plan(now, d.cfg.CycleSeconds, live)
+	cycle := d.cycles.Add(1)
+	if err != nil {
+		d.cfg.Logf("cycle %d t=%.1f: plan failed: %v", cycle, now, err)
+		d.history.Push(CycleSnapshot{
+			Cycle: cycle, Time: now, LiveJobs: len(live), Err: err.Error(),
+		})
+		return
+	}
+
+	changed := scheduler.Apply(now, live, plan.Assignments, d.cfg.Costs, d.actions)
+
+	// Republish dispatch weights, then swap the public snapshot.
+	webApps := d.planner.WebApps()
+	snap := &PlacementSnapshot{
+		Cycle:           cycle,
+		Time:            now,
+		Web:             make([]WebPlacementView, 0, len(webApps)),
+		Jobs:            make([]JobPlacementView, 0, len(live)),
+		OmegaGMHz:       plan.OmegaG,
+		Changes:         changed,
+		InstanceChanges: plan.Changes,
+	}
+	webUtil := make(map[string]float64, len(webApps))
+	for i, w := range webApps {
+		instances := make([]router.Instance, 0, len(plan.Web[i]))
+		views := make([]InstanceView, 0, len(plan.Web[i]))
+		for _, in := range plan.Web[i] {
+			name := d.nodeName(in.Node)
+			instances = append(instances, router.Instance{Node: name, PowerMHz: in.PowerMHz})
+			views = append(views, InstanceView{Node: name, PowerMHz: in.PowerMHz})
+		}
+		d.router.Update(w.Name, instances)
+		if plan.WebAllocMHz[i] > 0 {
+			// Capacity is available again: release requests parked in
+			// the overload-protection queue.
+			d.router.Drain(w.Name, d.cfg.QueueCap)
+		}
+		snap.Web = append(snap.Web, WebPlacementView{
+			Name:        w.Name,
+			ArrivalRate: w.ArrivalRate,
+			AllocMHz:    plan.WebAllocMHz[i],
+			Utility:     plan.WebUtilities[i],
+			Instances:   views,
+		})
+		webUtil[w.Name] = plan.WebUtilities[i]
+	}
+
+	queued := 0
+	for k, j := range live {
+		if j.Status == scheduler.Pending || j.Status == scheduler.Suspended {
+			queued++
+		}
+		view := JobPlacementView{
+			Name:         j.Spec.Name,
+			Status:       j.Status.String(),
+			SpeedMHz:     j.SpeedMHz,
+			DoneMcycles:  j.Done,
+			TotalMcycles: j.Spec.TotalWork(),
+			Utility:      plan.BatchUtilities[k],
+			Deadline:     j.Spec.Deadline,
+		}
+		if j.Node != scheduler.NoNode {
+			view.Node = d.nodeName(j.Node)
+		}
+		snap.Jobs = append(snap.Jobs, view)
+	}
+	d.placement.Store(snap)
+
+	batchUtil, _ := plan.BatchUtilityMean()
+	d.history.Push(CycleSnapshot{
+		Cycle:        cycle,
+		Time:         now,
+		Changes:      changed,
+		OmegaGMHz:    plan.OmegaG,
+		BatchUtility: batchUtil,
+		WebUtilities: webUtil,
+		LiveJobs:     len(live),
+		QueuedJobs:   queued,
+	})
+	d.cfg.Logf("cycle %d t=%.1f: web=%d jobs=%d queued=%d changes=%d omegaG=%.0fMHz",
+		cycle, now, len(webApps), len(live), queued, changed, plan.OmegaG)
+}
+
+func (d *Daemon) nodeName(id cluster.NodeID) string {
+	n, ok := d.cfg.Cluster.Node(id)
+	if !ok {
+		return fmt.Sprintf("node-%d", id)
+	}
+	return n.Name
+}

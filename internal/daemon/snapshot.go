@@ -1,0 +1,83 @@
+package daemon
+
+import "dynplace/internal/router"
+
+// InstanceView is one placed instance of a web application, with the
+// CPU share that doubles as its request-dispatch weight.
+type InstanceView struct {
+	Node     string  `json:"node"`
+	PowerMHz float64 `json:"powerMHz"`
+}
+
+// WebPlacementView is one web application's slice of a placement.
+type WebPlacementView struct {
+	Name        string         `json:"name"`
+	ArrivalRate float64        `json:"arrivalRate"`
+	AllocMHz    float64        `json:"allocMHz"`
+	Utility     float64        `json:"utility"`
+	Instances   []InstanceView `json:"instances"`
+}
+
+// JobPlacementView is one batch job's slice of a placement.
+type JobPlacementView struct {
+	Name         string  `json:"name"`
+	Status       string  `json:"status"`
+	Node         string  `json:"node,omitempty"`
+	SpeedMHz     float64 `json:"speedMHz"`
+	DoneMcycles  float64 `json:"doneMcycles"`
+	TotalMcycles float64 `json:"totalMcycles"`
+	Utility      float64 `json:"utility"`
+	Deadline     float64 `json:"deadline"`
+}
+
+// PlacementSnapshot is the full outcome of one control cycle: what runs
+// where, at what speed, and how well every workload is predicted to meet
+// its goal. The daemon swaps a fresh snapshot in atomically each cycle;
+// GET /placement serves it without touching the control loop's locks.
+type PlacementSnapshot struct {
+	Cycle     int64              `json:"cycle"`
+	Time      float64            `json:"time"`
+	Web       []WebPlacementView `json:"web"`
+	Jobs      []JobPlacementView `json:"jobs"`
+	OmegaGMHz float64            `json:"omegaGMHz"`
+	// Changes counts the disruptive batch placement actions this cycle
+	// (suspends, resumes, migrations — the paper's Figure 4 metric);
+	// InstanceChanges counts instance-level differences the optimizer
+	// introduced relative to the previous placement, web included.
+	Changes         int `json:"changes"`
+	InstanceChanges int `json:"instanceChanges"`
+}
+
+// CycleSnapshot is the compact per-cycle observation record retained in
+// the daemon's ring-buffer history and served by GET /metrics.
+type CycleSnapshot struct {
+	Cycle        int64              `json:"cycle"`
+	Time         float64            `json:"time"`
+	Changes      int                `json:"changes"`
+	OmegaGMHz    float64            `json:"omegaGMHz"`
+	BatchUtility float64            `json:"batchUtility"`
+	WebUtilities map[string]float64 `json:"webUtilities,omitempty"`
+	LiveJobs     int                `json:"liveJobs"`
+	QueuedJobs   int                `json:"queuedJobs"`
+	Err          string             `json:"err,omitempty"`
+}
+
+// HealthView is the GET /healthz body.
+type HealthView struct {
+	Status       string  `json:"status"`
+	Now          float64 `json:"now"`
+	CycleSeconds float64 `json:"cycleSeconds"`
+	Cycles       int64   `json:"cycles"`
+	WebApps      int     `json:"webApps"`
+	LiveJobs     int     `json:"liveJobs"`
+}
+
+// MetricsView is the GET /metrics body: lifetime action counters, the
+// router's per-application observations, and the retained cycle history.
+type MetricsView struct {
+	Now     float64                 `json:"now"`
+	Cycles  int64                   `json:"cycles"`
+	Actions map[string]int          `json:"actions"`
+	Router  map[string]router.Stats `json:"router"`
+	History []CycleSnapshot         `json:"history"`
+}

@@ -1,0 +1,55 @@
+package metrics
+
+// Ring is a fixed-capacity ring buffer holding the most recent values
+// pushed into it. The live daemon uses it as its per-cycle snapshot
+// store: observations accumulate forever, memory stays bounded, and the
+// HTTP API serves the retained window. The zero value is not usable;
+// construct with NewRing.
+type Ring[T any] struct {
+	buf   []T
+	start int
+	n     int
+}
+
+// NewRing returns a ring retaining up to capacity values (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends v, evicting the oldest value when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len returns the number of retained values.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the retention capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Last returns the most recently pushed value.
+func (r *Ring[T]) Last() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}
+
+// Snapshot returns the retained values oldest-first as a fresh slice.
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}

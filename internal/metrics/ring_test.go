@@ -1,0 +1,64 @@
+package metrics
+
+import "testing"
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Len() != 0 || r.Cap() != 4 {
+		t.Fatalf("empty ring: Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("Last on empty ring reported ok")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	got := r.Snapshot()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	if last, ok := r.Last(); !ok || last != 3 {
+		t.Fatalf("Last = %d, %v; want 3, true", last, ok)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 7; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []int{5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	if last, ok := r.Last(); !ok || last != 7 {
+		t.Fatalf("Last = %d, %v; want 7, true", last, ok)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", r.Cap())
+	}
+	r.Push("a")
+	r.Push("b")
+	if last, _ := r.Last(); last != "b" {
+		t.Fatalf("Last = %q, want b", last)
+	}
+	if got := r.Snapshot(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Snapshot = %v, want [b]", got)
+	}
+}

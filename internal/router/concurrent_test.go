@@ -1,0 +1,142 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDispatchDuringSwaps hammers one application from many
+// goroutines while the control loop concurrently swaps its placement, the
+// scenario the live daemon creates every cycle. Run with -race. At the
+// end the Stats counters must be internally consistent: every dispatch
+// attempt is accounted for exactly once and the per-node counts sum to
+// the dispatch total.
+func TestConcurrentDispatchDuringSwaps(t *testing.T) {
+	const (
+		app        = "storefront"
+		goroutines = 8
+		perWorker  = 2000
+		swaps      = 500
+	)
+	r := New(64)
+	r.Update(app, []Instance{{Node: "node-0", PowerMHz: 1000}})
+
+	placements := [][]Instance{
+		{{Node: "node-0", PowerMHz: 1000}},
+		{{Node: "node-0", PowerMHz: 600}, {Node: "node-1", PowerMHz: 1400}},
+		{{Node: "node-1", PowerMHz: 500}, {Node: "node-2", PowerMHz: 500}, {Node: "node-3", PowerMHz: 2000}},
+		{{Node: "node-2", PowerMHz: 3000}},
+	}
+
+	var wg sync.WaitGroup
+	var dispatched, queued, rejected [goroutines]int
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				node, err := r.Dispatch(app, rng.Float64())
+				switch {
+				case err == nil && node != "":
+					dispatched[w]++
+				case err == nil:
+					queued[w]++
+				case errors.Is(err, ErrRejected):
+					rejected[w]++
+				default:
+					t.Errorf("worker %d: unexpected error: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			r.Update(app, placements[i%len(placements)])
+			if i%10 == 0 {
+				r.Drain(app, 8)
+			}
+		}
+	}()
+	wg.Wait()
+
+	var wantDispatched, wantQueued, wantRejected int
+	for w := 0; w < goroutines; w++ {
+		wantDispatched += dispatched[w]
+		wantQueued += queued[w]
+		wantRejected += rejected[w]
+	}
+	if total := wantDispatched + wantQueued + wantRejected; total != goroutines*perWorker {
+		t.Fatalf("attempts accounted = %d, want %d", total, goroutines*perWorker)
+	}
+
+	st, ok := r.StatsFor(app)
+	if !ok {
+		t.Fatal("StatsFor lost the application")
+	}
+	if st.Dispatched != wantDispatched {
+		t.Errorf("Stats.Dispatched = %d, want %d", st.Dispatched, wantDispatched)
+	}
+	if st.Rejected != wantRejected {
+		t.Errorf("Stats.Rejected = %d, want %d", st.Rejected, wantRejected)
+	}
+	perNode := 0
+	for _, n := range st.PerNode {
+		perNode += n
+	}
+	if perNode != st.Dispatched {
+		t.Errorf("sum(PerNode) = %d, want Dispatched = %d", perNode, st.Dispatched)
+	}
+	if st.Queued < 0 {
+		t.Errorf("Stats.Queued = %d, negative", st.Queued)
+	}
+
+	// The snapshot view must agree with the per-app view.
+	snap := r.Snapshot()
+	if got := snap[app].Dispatched; got != st.Dispatched {
+		t.Errorf("Snapshot dispatched = %d, want %d", got, st.Dispatched)
+	}
+}
+
+// TestConcurrentMultiApp exercises independent applications updated and
+// dispatched concurrently, including removal and re-registration.
+func TestConcurrentMultiApp(t *testing.T) {
+	r := New(16)
+	apps := []string{"a", "b", "c", "d"}
+	for _, name := range apps {
+		r.Update(name, []Instance{{Node: "n0", PowerMHz: 100}})
+	}
+	var wg sync.WaitGroup
+	for w, name := range apps {
+		wg.Add(1)
+		go func(w int, name string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 1500; i++ {
+				switch i % 50 {
+				case 10:
+					r.Remove(name)
+				case 11:
+					r.Update(name, []Instance{
+						{Node: fmt.Sprintf("n%d", i%3), PowerMHz: float64(100 + i)},
+					})
+				default:
+					// Unknown-app errors are expected in the removal window.
+					_, _ = r.Dispatch(name, rng.Float64())
+				}
+			}
+		}(w, name)
+	}
+	wg.Wait()
+	for _, name := range r.Apps() {
+		if _, ok := r.Instances(name); !ok {
+			t.Errorf("app %q listed but has no instances entry", name)
+		}
+	}
+}

@@ -157,6 +157,49 @@ func (r *Router) Drain(app string, n int) int {
 	return n
 }
 
+// Apps returns the registered application names in sorted order.
+func (r *Router) Apps() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.apps))
+	for name := range r.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Instances returns a copy of the application's current routing entry and
+// whether the application is registered.
+func (r *Router) Instances(app string) ([]Instance, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[app]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Instance, len(st.instances))
+	copy(out, st.instances)
+	return out, true
+}
+
+// Snapshot returns every application's statistics keyed by name — the
+// router-side observability feed the daemon's metrics endpoint serves.
+func (r *Router) Snapshot() map[string]Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Stats, len(r.apps))
+	for name, st := range r.apps {
+		s := st.stats
+		s.PerNode = make(map[string]int, len(st.stats.PerNode))
+		for k, v := range st.stats.PerNode {
+			s.PerNode[k] = v
+		}
+		out[name] = s
+	}
+	return out
+}
+
 // StatsFor returns a copy of the application's statistics.
 func (r *Router) StatsFor(app string) (Stats, bool) {
 	r.mu.Lock()

@@ -57,6 +57,21 @@ func WithNode(name string, cpuMHz, memMB float64) Option {
 	}
 }
 
+// WithClusterSpec adds nodes from a compact inventory description:
+// comma-separated "COUNTxCPU_MHZ/MEM_MB" groups, e.g.
+// "4x3000/4096,1x6400/8192" — the same format the dynplaced daemon
+// accepts on its command line.
+func WithClusterSpec(spec string) Option {
+	return func(s *settings) error {
+		nodes, err := cluster.ParseNodes(spec)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOption, err)
+		}
+		s.nodes = append(s.nodes, nodes...)
+		return nil
+	}
+}
+
 // WithControlCycle sets the control cycle length T in seconds.
 func WithControlCycle(seconds float64) Option {
 	return func(s *settings) error {

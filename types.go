@@ -11,14 +11,14 @@ import (
 // Stage is one phase of a multi-stage job profile.
 type Stage struct {
 	// WorkMcycles is the CPU work of the stage in megacycles (MHz·s).
-	WorkMcycles float64
+	WorkMcycles float64 `json:"workMcycles"`
 	// MaxSpeedMHz caps how fast the stage can execute.
-	MaxSpeedMHz float64
+	MaxSpeedMHz float64 `json:"maxSpeedMHz"`
 	// MinSpeedMHz is the slowest the stage may run whenever it runs
 	// (0 = no floor).
-	MinSpeedMHz float64
+	MinSpeedMHz float64 `json:"minSpeedMHz,omitempty"`
 	// MemoryMB is the stage's memory footprint.
-	MemoryMB float64
+	MemoryMB float64 `json:"memoryMB"`
 }
 
 // JobSpec describes a batch job and its completion-time goal. For
@@ -26,26 +26,26 @@ type Stage struct {
 // profiles use Stages instead.
 type JobSpec struct {
 	// Name identifies the job; it must be unique within a System.
-	Name string
+	Name string `json:"name"`
 
 	// WorkMcycles, MaxSpeedMHz and MemoryMB describe a single-stage job.
 	// Ignored when Stages is set.
-	WorkMcycles float64
-	MaxSpeedMHz float64
-	MemoryMB    float64
+	WorkMcycles float64 `json:"workMcycles,omitempty"`
+	MaxSpeedMHz float64 `json:"maxSpeedMHz,omitempty"`
+	MemoryMB    float64 `json:"memoryMB,omitempty"`
 
 	// Stages is the multi-stage resource usage profile (optional).
-	Stages []Stage
+	Stages []Stage `json:"stages,omitempty"`
 
 	// Submit is the submission time in seconds of virtual time.
-	Submit float64
+	Submit float64 `json:"submit,omitempty"`
 	// DesiredStart is the earliest desired start (default: Submit).
-	DesiredStart float64
+	DesiredStart float64 `json:"desiredStart,omitempty"`
 	// Deadline is the completion-time goal τ.
-	Deadline float64
+	Deadline float64 `json:"deadline"`
 	// AntiCollocate lists application names (jobs or web apps) this job
 	// must never share a node with.
-	AntiCollocate []string
+	AntiCollocate []string `json:"antiCollocate,omitempty"`
 }
 
 // ErrBadSpec reports an invalid job or web application specification.
@@ -92,40 +92,40 @@ func (j JobSpec) toInternal() (*batch.Spec, error) {
 // aggregate CPU allocation of ω MHz.
 type WebAppSpec struct {
 	// Name identifies the application; unique within a System.
-	Name string
+	Name string `json:"name"`
 	// ArrivalRate is λ, requests per second.
-	ArrivalRate float64
+	ArrivalRate float64 `json:"arrivalRate"`
 	// DemandPerRequest is c, the average CPU demand of one request in
 	// megacycles.
-	DemandPerRequest float64
+	DemandPerRequest float64 `json:"demandPerRequest"`
 	// BaseLatency is the CPU-independent response-time floor in seconds.
-	BaseLatency float64
+	BaseLatency float64 `json:"baseLatency,omitempty"`
 	// GoalResponseTime is the SLA target τ in seconds.
-	GoalResponseTime float64
+	GoalResponseTime float64 `json:"goalResponseTime"`
 	// MaxPowerMHz caps the useful aggregate allocation (0 = unbounded).
-	MaxPowerMHz float64
+	MaxPowerMHz float64 `json:"maxPowerMHz,omitempty"`
 	// MemoryMB is the per-instance footprint.
-	MemoryMB float64
+	MemoryMB float64 `json:"memoryMB"`
 	// LoadSchedule optionally varies the arrival rate over time: each
 	// phase takes effect at its start time (phases should be listed in
 	// ascending start order). The placement controller reacts at the
 	// next control cycle.
-	LoadSchedule []LoadPhase
+	LoadSchedule []LoadPhase `json:"loadSchedule,omitempty"`
 	// AntiCollocate lists application names this one must never share a
 	// node with.
-	AntiCollocate []string
+	AntiCollocate []string `json:"antiCollocate,omitempty"`
 	// GoalPercentile, when nonzero, makes GoalResponseTime a percentile
 	// target (e.g. 95 = "95th percentile below the goal") instead of a
 	// mean. Valid range (50, 100).
-	GoalPercentile float64
+	GoalPercentile float64 `json:"goalPercentile,omitempty"`
 }
 
 // LoadPhase changes a web application's arrival rate at a point in time.
 type LoadPhase struct {
 	// Start is the phase's begin time (virtual seconds).
-	Start float64
+	Start float64 `json:"start"`
 	// ArrivalRate is λ from Start onward (requests/second).
-	ArrivalRate float64
+	ArrivalRate float64 `json:"arrivalRate"`
 }
 
 func (w WebAppSpec) toInternal() (*txn.App, error) {
@@ -149,27 +149,40 @@ func (w WebAppSpec) toInternal() (*txn.App, error) {
 // JobResult reports one job's outcome.
 type JobResult struct {
 	// Name is the job's identifier.
-	Name string
+	Name string `json:"name"`
 	// Completed reports whether the job finished within the run.
-	Completed bool
+	Completed bool `json:"completed"`
 	// CompletedAt is the completion instant (valid when Completed).
-	CompletedAt float64
+	CompletedAt float64 `json:"completedAt"`
 	// MetGoal reports completion at or before the deadline.
-	MetGoal bool
-	// DistanceToGoal is deadline − completion (positive = early).
-	DistanceToGoal float64
+	MetGoal bool `json:"metGoal"`
+	// DistanceToGoal is deadline − completion (positive = early). Zero
+	// is meaningful (finished exactly on time), so no omitempty.
+	DistanceToGoal float64 `json:"distanceToGoal"`
 	// Utility is the relative performance at completion:
 	// (deadline − completion) / (deadline − desired start).
-	Utility float64
+	Utility float64 `json:"utility"`
 	// Suspends, Resumes and Migrations count the placement actions the
 	// job experienced.
-	Suspends, Resumes, Migrations int
+	Suspends   int `json:"suspends"`
+	Resumes    int `json:"resumes"`
+	Migrations int `json:"migrations"`
 }
 
 // Point is one (virtual time, value) sample of a recorded series.
 type Point struct {
 	// Time is the sample instant in seconds of virtual time.
-	Time float64
+	Time float64 `json:"time"`
 	// Value is the sampled quantity.
-	Value float64
+	Value float64 `json:"value"`
 }
+
+// CompileJob validates spec and lowers it to the internal batch
+// representation. It is the seam through which the live daemon
+// (internal/daemon) shares spec validation and conversion with the
+// simulator entry points; library users never need it.
+func CompileJob(spec JobSpec) (*batch.Spec, error) { return spec.toInternal() }
+
+// CompileWebApp validates spec and lowers it to the internal
+// transactional model. See CompileJob.
+func CompileWebApp(spec WebAppSpec) (*txn.App, error) { return spec.toInternal() }
