@@ -1,0 +1,41 @@
+# make check mirrors the CI pipeline (.github/workflows/ci.yml) so local
+# runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: check fmt vet staticcheck build test shuffle bench
+
+check: fmt vet staticcheck build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck is optional locally (install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1)
+# but always runs in CI.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Catch order-dependent tests the same way CI does.
+shuffle:
+	$(GO) test -count=2 -shuffle=on ./...
+
+# The CI bench-smoke job: one scale-sweep run, table on stdout.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkScaleSweep -benchtime=1x .

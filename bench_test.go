@@ -403,6 +403,32 @@ func BenchmarkOptimizerCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSweep measures placement solve latency at datacenter
+// scale (500/1000/2000 nodes, mixed web+batch) with sequential and
+// parallel candidate evaluation over identical problems, and verifies
+// the two legs choose byte-identical placements. CI runs it with
+// -benchtime=1x and uploads the printed table as an artifact, so solver
+// performance is measured on every PR rather than asserted.
+func BenchmarkScaleSweep(b *testing.B) {
+	opts := experiments.DefaultScaleSweepOptions()
+	var rows []experiments.ScaleSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunScaleSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.ScaleSweepTable(rows))
+	for _, r := range rows {
+		if !r.Identical {
+			b.Fatalf("parallel placement diverged from sequential at %d nodes", r.Nodes)
+		}
+		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup-%dnodes", r.Nodes))
+		b.ReportMetric(r.Sequential.Seconds(), fmt.Sprintf("seq-s-%dnodes", r.Nodes))
+	}
+}
+
 // BenchmarkAllocationSolver times a single placement evaluation (the
 // optimizer's inner oracle).
 func BenchmarkAllocationSolver(b *testing.B) {

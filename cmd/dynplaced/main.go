@@ -44,6 +44,7 @@ func main() {
 		history   = flag.Int("history", 512, "per-cycle snapshots retained for /metrics")
 		epsilon   = flag.Float64("epsilon", 0, "optimizer comparison resolution (0 = default)")
 		passes    = flag.Int("passes", 0, "optimizer improvement passes per cycle (0 = default)")
+		par       = flag.Int("parallelism", 0, "optimizer candidate-evaluation workers (1 = sequential, 0 = all CPUs)")
 		exact     = flag.Bool("exact", false, "use exact bisection for the batch performance predictor")
 		freeCosts = flag.Bool("free-costs", false, "disable placement-action costs (default: the paper's measured constants)")
 		quiet     = flag.Bool("quiet", false, "suppress per-cycle log lines")
@@ -74,6 +75,7 @@ func main() {
 			Epsilon:           *epsilon,
 			MaxPasses:         *passes,
 			ExactHypothetical: *exact,
+			Parallelism:       *par,
 		},
 		QueueCap: qc,
 		History:  *history,

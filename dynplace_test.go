@@ -34,6 +34,7 @@ func TestNewSystemValidation(t *testing.T) {
 			WithPlacementCosts(-1, 0, 0, 0)}},
 		{"bad node", []Option{WithNode("x", -5, 100)}},
 		{"bad partition", []Option{WithUniformCluster(1, 100, 100), WithStaticWebPartition(-2)}},
+		{"bad parallelism", []Option{WithUniformCluster(1, 100, 100), WithParallelism(-1)}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -294,4 +295,48 @@ func TestStaticPartitionThroughPublicAPI(t *testing.T) {
 
 func jobName(prefix string, i int) string {
 	return prefix + "-" + string(rune('a'+i))
+}
+
+// TestParallelismDoesNotChangeOutcomes runs the same dynamic-placement
+// scenario with sequential and parallel candidate evaluation through
+// the public API; job outcomes must match exactly.
+func TestParallelismDoesNotChangeOutcomes(t *testing.T) {
+	run := func(workers int) []JobResult {
+		sys := newTestSystem(t,
+			WithUniformCluster(3, 15600, 16384),
+			WithControlCycle(300),
+			WithDynamicPlacement(),
+			WithParallelism(workers),
+		)
+		if err := sys.AddWebApp(WebAppSpec{
+			Name: "web", ArrivalRate: 80, DemandPerRequest: 120,
+			BaseLatency: 0.04, GoalResponseTime: 0.25,
+			MaxPowerMHz: 20000, MemoryMB: 2000,
+		}); err != nil {
+			t.Fatalf("AddWebApp: %v", err)
+		}
+		for j := 0; j < 5; j++ {
+			if err := sys.SubmitJob(JobSpec{
+				Name: jobName("job", j), WorkMcycles: 3900 * 900,
+				MaxSpeedMHz: 3900, MemoryMB: 4320,
+				Submit: float64(j) * 200, Deadline: 4 * 3600,
+			}); err != nil {
+				t.Fatalf("SubmitJob: %v", err)
+			}
+		}
+		if err := sys.RunUntilDrained(36000); err != nil {
+			t.Fatalf("RunUntilDrained: %v", err)
+		}
+		return sys.JobResults()
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("job %d diverged:\nsequential %+v\nparallel   %+v", i, seq[i], par[i])
+		}
+	}
 }

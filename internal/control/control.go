@@ -38,6 +38,10 @@ type DynamicConfig struct {
 	Levels []float64
 	// ExactHypothetical selects bisection over the sampled grid.
 	ExactHypothetical bool
+	// Parallelism bounds the optimizer's candidate-evaluation workers
+	// (1 = sequential, 0 = GOMAXPROCS). Placement decisions are
+	// identical at every setting; only solve latency changes.
+	Parallelism int
 }
 
 // Config describes one experiment run.

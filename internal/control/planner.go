@@ -1,6 +1,7 @@
 package control
 
 import (
+	"errors"
 	"fmt"
 
 	"dynplace/internal/cluster"
@@ -26,6 +27,11 @@ type Planner struct {
 	webApps      []*txn.App
 	webPlacement [][]cluster.NodeID
 	failed       map[cluster.NodeID]bool
+
+	// infeasibleCycles counts Plan calls that failed because no feasible
+	// placement exists (core.ErrInfeasible) — the signal that the
+	// cluster is overcommitted rather than the input malformed.
+	infeasibleCycles int
 }
 
 // NewPlanner prepares a planner for the given inventory, cost model and
@@ -118,6 +124,12 @@ func (p *Planner) FailNode(id cluster.NodeID) {
 		p.webPlacement[i] = keep
 	}
 }
+
+// InfeasibleCycles returns how many Plan calls failed with
+// core.ErrInfeasible over the planner's lifetime. Drivers surface it in
+// their cycle metrics so a persistently overcommitted cluster is
+// visible rather than silently retried.
+func (p *Planner) InfeasibleCycles() int { return p.infeasibleCycles }
 
 // WebInstance is one placed instance of a web application in a Plan.
 type WebInstance struct {
@@ -244,9 +256,13 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 		ExactHypothetical: p.dyn.ExactHypothetical,
 		Epsilon:           p.dyn.Epsilon,
 		MaxPasses:         p.dyn.MaxPasses,
+		Parallelism:       p.dyn.Parallelism,
 	}
 	res, err := core.Optimize(problem)
 	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			p.infeasibleCycles++
+		}
 		return nil, err
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"dynplace/internal/batch"
 	"dynplace/internal/cluster"
+	"dynplace/internal/core"
 	"dynplace/internal/metrics"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/txn"
@@ -129,5 +130,45 @@ func TestPlannerPlacesAndCarriesState(t *testing.T) {
 		if a.Node == failed {
 			t.Errorf("job assigned to failed node %d", failed)
 		}
+	}
+}
+
+// TestPlannerSurfacesInfeasible drives the planner into a genuinely
+// unsolvable state — a placed web application whose arrival rate jumps
+// past its hosting capacity — and checks the failure is reported as
+// core.ErrInfeasible and counted in the planner's cycle metrics instead
+// of being indistinguishable from a malformed input.
+func TestPlannerSurfacesInfeasible(t *testing.T) {
+	cl, err := cluster.Uniform(1, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddWebApp(testApp("web", 10)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(0, 600, nil)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(plan.Web[0]) == 0 {
+		t.Fatal("web app not placed")
+	}
+	if got := p.InfeasibleCycles(); got != 0 {
+		t.Fatalf("InfeasibleCycles = %d before failure", got)
+	}
+	// λ·c = 200·50 = 10,000 MHz against a 3,000 MHz node: the carried
+	// placement cannot sustain the new rate at any utility level.
+	if !p.SetArrivalRate("web", 200) {
+		t.Fatal("SetArrivalRate")
+	}
+	if _, err := p.Plan(600, 600, nil); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("Plan = %v, want core.ErrInfeasible", err)
+	}
+	if got := p.InfeasibleCycles(); got != 1 {
+		t.Fatalf("InfeasibleCycles = %d, want 1", got)
 	}
 }

@@ -17,12 +17,22 @@ type Result struct {
 	Eval *Evaluation
 	// Changes counts instance-level differences from the input placement.
 	Changes int
-	// CandidatesEvaluated counts full placement evaluations performed.
+	// CandidatesEvaluated counts the placement evaluations consumed by
+	// the decision sequence. Speculative evaluations the parallel
+	// pipeline discards are excluded, so the value is identical at
+	// every Parallelism setting.
 	CandidatesEvaluated int
 	// Repaired reports that the input placement violated constraints
 	// (e.g. after a node loss) and instances were evicted to recover.
 	Repaired bool
 }
+
+// ErrInfeasible reports that no feasible placement exists for the
+// problem — even after repair evicted instances, some constraint (node
+// memory, a batch job's minimum speed, or a placed web application's
+// λ·c stability demand) cannot be met. It wraps ErrBadProblem, so
+// existing errors.Is(err, ErrBadProblem) checks keep matching.
+var ErrInfeasible = fmt.Errorf("%w: placement infeasible", ErrBadProblem)
 
 // Optimize runs the APC placement algorithm for one control cycle: the
 // paper's three nested loops. The outer loop visits nodes; for each node
@@ -32,6 +42,13 @@ type Result struct {
 // it improves the sorted utility vector by more than epsilon, which
 // both enforces the extended max-min objective and minimizes placement
 // churn.
+//
+// Candidate evaluation is embarrassingly parallel — every candidate is
+// scored against the same problem state — so candidates are fanned out
+// to a bounded worker pool (Problem.Parallelism) and the adoption
+// decisions are replayed sequentially in candidate order. The chosen
+// placement is therefore bit-identical to the sequential solver's at
+// any parallelism level.
 func Optimize(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -48,13 +65,19 @@ func Optimize(p *Problem) (*Result, error) {
 	}
 
 	res := &Result{Repaired: repaired}
-	best, err := Evaluate(p, current)
+	var pool *evalPool
+	if workers := p.parallelism(); workers > 1 {
+		pool = newEvalPool(workers)
+		defer pool.close()
+	}
+	ctx := newEvalContext(p, current)
+	best, err := ctx.evaluate(current)
 	if err != nil {
 		return nil, err
 	}
 	res.CandidatesEvaluated++
 	if !best.Feasible {
-		return nil, fmt.Errorf("%w: placement infeasible even after repair", ErrBadProblem)
+		return nil, fmt.Errorf("%w even after repair", ErrInfeasible)
 	}
 
 	eps := p.epsilon()
@@ -65,63 +88,116 @@ func Optimize(p *Problem) (*Result, error) {
 		// stability knee gains nothing from a single instance, so the
 		// per-node loop alone cannot bootstrap it. Dedicated expansion
 		// candidates add instances across several nodes at once.
-		for _, cand := range webExpansionCandidates(p, current, best) {
-			ev, err := Evaluate(p, cand)
-			if err != nil {
-				return nil, err
-			}
-			res.CandidatesEvaluated++
+		webCands := webExpansionCandidates(p, current, best)
+		evs, err := pool.evalAll(ctx, webCands)
+		if err != nil {
+			return nil, err
+		}
+		res.CandidatesEvaluated += len(webCands)
+		adopted := false
+		for i, cand := range webCands {
+			ev := evs[i]
 			if !ev.Feasible {
 				continue
 			}
 			if q := ev.Vector.Quantize(eps); bestQ.Less(q) {
 				current, best, bestQ = cand, ev, q
-				improved = true
+				improved, adopted = true, true
 			}
 		}
-		for n := 0; n < p.Cluster.Len(); n++ {
-			node := cluster.NodeID(n)
-			cands := candidatesForNode(p, current, best, node)
-			var bestCand *Placement
-			var bestEval *Evaluation
-			var bestCandQ rpf.Vector
-			for _, cand := range cands {
-				ev, err := Evaluate(p, cand)
-				if err != nil {
-					return nil, err
+		if adopted {
+			ctx = newEvalContext(p, current)
+		}
+		// The per-node loop is sequential by construction — each node's
+		// candidates are generated against the incumbent chosen so far —
+		// but while no candidate is adopted the incumbent does not move,
+		// so candidate sets for a whole window of upcoming nodes can be
+		// generated speculatively and scored as one large batch. On
+		// adoption the unreplayed tail of the window is stale and is
+		// discarded (those nodes are revisited against the new
+		// incumbent), so the decision sequence is exactly the sequential
+		// solver's; speculation only changes how much scoring overlaps.
+		//
+		// The window is adaptive: one node after an adoption (no wasted
+		// work while the incumbent is moving every node), doubling while
+		// adoptions stay absent (deep batches once the placement has
+		// converged, which is where most of a pass's nodes are).
+		windowMax := 1
+		if pool != nil {
+			windowMax = 8 * pool.workers
+		}
+		windowTarget := 1
+		for n := 0; n < p.Cluster.Len(); {
+			windowNodes := 0
+			var counts []int
+			var flat []*Placement
+			for m := n; m < p.Cluster.Len() && (m == n || len(flat) < windowTarget); m++ {
+				cands := candidatesForNode(p, current, best, cluster.NodeID(m))
+				counts = append(counts, len(cands))
+				flat = append(flat, cands...)
+				windowNodes++
+			}
+			evs, err := pool.evalAll(ctx, flat)
+			if err != nil {
+				return nil, err
+			}
+			adopted := false
+			off := 0
+			for w := 0; w < windowNodes; w++ {
+				cands := flat[off : off+counts[w]]
+				nodeEvs := evs[off : off+counts[w]]
+				off += counts[w]
+				// CandidatesEvaluated counts only replayed evaluations:
+				// the window tail discarded after an adoption is scored
+				// again next iteration, so the total matches the
+				// sequential solver's at every Parallelism.
+				res.CandidatesEvaluated += counts[w]
+				n++
+				var bestCand *Placement
+				var bestEval *Evaluation
+				var bestCandQ rpf.Vector
+				for i, cand := range cands {
+					ev := nodeEvs[i]
+					if !ev.Feasible {
+						continue
+					}
+					q := ev.Vector.Quantize(eps)
+					// A candidate must improve on the incumbent placement at
+					// the comparison resolution. Candidates that disturb
+					// placed instances (suspend or migrate) must additionally
+					// show a raw improvement of at least one resolution step:
+					// a quantization-boundary crossing alone never justifies
+					// interrupting running work.
+					if !bestQ.Less(q) {
+						continue
+					}
+					if disturbs(current, cand) && !ev.Vector.ImprovesOn(best.Vector, eps) {
+						continue
+					}
+					switch {
+					case bestEval == nil:
+						bestCand, bestEval, bestCandQ = cand, ev, q
+					case bestCandQ.Less(q):
+						bestCand, bestEval, bestCandQ = cand, ev, q
+					case q.Compare(bestCandQ) == 0 &&
+						cand.Changes(current) < bestCand.Changes(current):
+						// Resolution-level tie: prefer the less disruptive
+						// configuration.
+						bestCand, bestEval, bestCandQ = cand, ev, q
+					}
 				}
-				res.CandidatesEvaluated++
-				if !ev.Feasible {
-					continue
-				}
-				q := ev.Vector.Quantize(eps)
-				// A candidate must improve on the incumbent placement at
-				// the comparison resolution. Candidates that disturb
-				// placed instances (suspend or migrate) must additionally
-				// show a raw improvement of at least one resolution step:
-				// a quantization-boundary crossing alone never justifies
-				// interrupting running work.
-				if !bestQ.Less(q) {
-					continue
-				}
-				if disturbs(current, cand) && !ev.Vector.ImprovesOn(best.Vector, eps) {
-					continue
-				}
-				switch {
-				case bestEval == nil:
-					bestCand, bestEval, bestCandQ = cand, ev, q
-				case bestCandQ.Less(q):
-					bestCand, bestEval, bestCandQ = cand, ev, q
-				case q.Compare(bestCandQ) == 0 &&
-					cand.Changes(current) < bestCand.Changes(current):
-					// Resolution-level tie: prefer the less disruptive
-					// configuration.
-					bestCand, bestEval, bestCandQ = cand, ev, q
+				if bestCand != nil {
+					current, best, bestQ = bestCand, bestEval, bestCandQ
+					improved = true
+					adopted = true
+					ctx = newEvalContext(p, current)
+					break // rest of the window is stale
 				}
 			}
-			if bestCand != nil {
-				current, best, bestQ = bestCand, bestEval, bestCandQ
-				improved = true
+			if adopted {
+				windowTarget = 1
+			} else if windowTarget < windowMax {
+				windowTarget *= 2
 			}
 		}
 		if !improved {
@@ -399,7 +475,7 @@ func repair(p *Problem, pl *Placement) (bool, error) {
 				break
 			}
 			if len(apps) == 0 {
-				return repaired, fmt.Errorf("%w: node %d overloaded with no instances", ErrBadProblem, n)
+				return repaired, fmt.Errorf("%w: node %d overloaded with no instances", ErrInfeasible, n)
 			}
 			// Evict the largest-footprint instance, batch before web.
 			evict := apps[0]

@@ -26,7 +26,7 @@ func TestAllocatorAgainstGridSearch(t *testing.T) {
 		}
 		p := &Problem{Cluster: cl, Now: 0, Cycle: 1, Apps: apps,
 			Costs: cluster.FreeCostModel(), ExactHypothetical: true}
-		al := newAllocator(p, pl)
+		al := newAllocator(p, pl, nil)
 		perApp, _, ok := al.solve()
 		if !ok {
 			t.Fatalf("trial %d: solver infeasible", trial)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evalPool is the bounded worker pool behind the optimizer's parallel
+// candidate evaluation. Candidate generation feeds whole batches (all
+// configurations for one node, or one pass's web-expansion set); workers
+// pull candidates off a shared index and write evaluations back into
+// the batch's result slice by position. The adopting loop then replays
+// the results strictly in candidate order, so score ties break toward
+// the lowest candidate index and the outcome is bit-identical to the
+// sequential solver at any pool size.
+type evalPool struct {
+	workers int
+	batches chan *evalBatch
+}
+
+type evalBatch struct {
+	ctx   *evalContext
+	cands []*Placement
+	evs   []*Evaluation
+	errs  []error
+	next  atomic.Int64
+	fail  atomic.Bool
+	wg    sync.WaitGroup
+}
+
+// newEvalPool starts workers goroutines; close releases them. A pool is
+// only created for Parallelism > 1 — at 1 the (nil) pool evaluates on
+// the calling goroutine and no goroutines are spawned at all.
+func newEvalPool(workers int) *evalPool {
+	p := &evalPool{workers: workers, batches: make(chan *evalBatch)}
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *evalPool) run() {
+	for b := range p.batches {
+		for !b.fail.Load() {
+			i := int(b.next.Add(1)) - 1
+			if i >= len(b.cands) {
+				break
+			}
+			ev, err := b.ctx.evaluate(b.cands[i])
+			if err != nil {
+				b.errs[i] = err
+				b.fail.Store(true)
+				break
+			}
+			b.evs[i] = ev
+		}
+		b.wg.Done()
+	}
+}
+
+func (p *evalPool) close() {
+	if p != nil {
+		close(p.batches)
+	}
+}
+
+// evalAll evaluates every candidate against ctx and returns the
+// evaluations in candidate order. A nil pool, or a batch too small to
+// split, evaluates sequentially on the calling goroutine.
+func (p *evalPool) evalAll(ctx *evalContext, cands []*Placement) ([]*Evaluation, error) {
+	evs := make([]*Evaluation, len(cands))
+	if p == nil || len(cands) <= 1 {
+		for i, cand := range cands {
+			ev, err := ctx.evaluate(cand)
+			if err != nil {
+				return nil, err
+			}
+			evs[i] = ev
+		}
+		return evs, nil
+	}
+	// Wake only as many workers as there are candidates: small batches
+	// (one node's configurations right after an adoption) shouldn't pay
+	// a full pool's worth of synchronization.
+	workers := p.workers
+	if len(cands) < workers {
+		workers = len(cands)
+	}
+	b := &evalBatch{ctx: ctx, cands: cands, evs: evs, errs: make([]error, len(cands))}
+	b.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		p.batches <- b
+	}
+	b.wg.Wait()
+	for _, err := range b.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evs, nil
+}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/flow"
@@ -41,6 +44,18 @@ type Problem struct {
 	// MaxPasses bounds the optimizer's improvement sweeps. Zero selects
 	// DefaultMaxPasses.
 	MaxPasses int
+	// Parallelism bounds the optimizer's candidate-evaluation worker
+	// pool: 1 evaluates sequentially on the calling goroutine, n > 1
+	// uses n workers, and 0 selects runtime.GOMAXPROCS(0). The result is
+	// bit-identical at every setting — candidates are scored
+	// concurrently but adopted in candidate order, so ties break toward
+	// the lowest candidate index exactly as in the sequential solver.
+	Parallelism int
+	// VerifyIncremental cross-checks every incremental candidate
+	// evaluation inside Optimize against a full Evaluate and fails the
+	// optimization on any divergence. Debug mode: it re-buys the full
+	// evaluation cost the incremental path exists to avoid.
+	VerifyIncremental bool
 }
 
 // Defaults for the optimizer knobs.
@@ -66,6 +81,19 @@ func (p *Problem) maxPasses() int {
 		return p.MaxPasses
 	}
 	return DefaultMaxPasses
+}
+
+func (p *Problem) parallelism() int {
+	switch {
+	case p.Parallelism > 0:
+		return p.Parallelism
+	case p.Parallelism < 0:
+		// Negative values are conservatively sequential rather than
+		// silently claiming every CPU.
+		return 1
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
 }
 
 // ErrBadProblem reports an invalid problem definition.
@@ -142,24 +170,108 @@ type allocator struct {
 	jobNode []int // node index per placed job (parallel to jobs)
 	webs    []int // app indices of placed web apps
 
+	// jobNodes lists the distinct nodes hosting batch jobs. Only these
+	// entries of nodeLoad are ever nonzero, so capacity checks and load
+	// resets touch O(jobs) entries instead of every node in the cluster.
+	jobNodes []int
+	// webHosts lists the distinct nodes hosting web instances (ascending)
+	// and webHostIdx maps a node to its position in webHosts (-1
+	// otherwise). Flow networks for multi-web routing include only these
+	// nodes: the rest have no incoming edges and would only inflate the
+	// graph at cluster scale. Built when len(webs) > 1.
+	webHosts   []int
+	webHostIdx []int
+
+	// skipMemCheck elides the full per-node memory/anti-collocation scan:
+	// the incremental evaluation path has already verified the nodes the
+	// candidate touches against a known-feasible base placement.
+	skipMemCheck bool
+
 	frozen map[int]bool
 	fixed  map[int]float64 // allocation of frozen apps
 
 	// scratch
 	jobDemand []float64
 	nodeLoad  []float64
+	scratch   *allocScratch
 }
 
-func newAllocator(p *Problem, pl *Placement) *allocator {
+// allocScratch holds the allocator's cluster-sized scratch vectors.
+// They are recycled through a pool so the thousands of candidate
+// evaluations of one optimization pass do not each allocate (and the GC
+// sweep) O(cluster) memory. Invariants between uses: nodeLoad all zero,
+// seen all false, hostIdx all -1 — restored cheaply on release by
+// undoing only the entries this use touched.
+type allocScratch struct {
+	nodeLoad []float64
+	seen     []bool
+	hostIdx  []int
+	residual []float64 // no invariant: fully overwritten before use
+}
+
+// allocScratchPools holds one sync.Pool per cluster size, so problems
+// of different sizes (the scale sweep, a daemon, tests) interleave
+// without evicting each other's scratch.
+var allocScratchPools sync.Map // int -> *sync.Pool
+
+func scratchPoolFor(n int) *sync.Pool {
+	if p, ok := allocScratchPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := allocScratchPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+func getAllocScratch(n int) *allocScratch {
+	if s, ok := scratchPoolFor(n).Get().(*allocScratch); ok {
+		return s
+	}
+	s := &allocScratch{
+		nodeLoad: make([]float64, n),
+		seen:     make([]bool, n),
+		hostIdx:  make([]int, n),
+		residual: make([]float64, n),
+	}
+	for i := range s.hostIdx {
+		s.hostIdx[i] = -1
+	}
+	return s
+}
+
+// release restores the scratch invariants and returns it to the pool.
+// The allocator must not be used afterwards.
+func (al *allocator) release() {
+	s := al.scratch
+	if s == nil {
+		return
+	}
+	for _, nd := range al.jobNodes {
+		s.nodeLoad[nd] = 0
+	}
+	for _, nd := range al.webHosts {
+		s.hostIdx[nd] = -1
+	}
+	al.scratch, al.nodeLoad, al.webHostIdx = nil, nil, nil
+	scratchPoolFor(len(s.nodeLoad)).Put(s)
+}
+
+// newAllocator prepares the solver for one placement. caps, when
+// non-nil, is a borrowed per-node CPU capacity vector (read-only) so the
+// many evaluations of one optimization step share a single allocation.
+func newAllocator(p *Problem, pl *Placement, caps []float64) *allocator {
 	al := &allocator{
 		p:      p,
 		pl:     pl,
 		frozen: make(map[int]bool),
 		fixed:  make(map[int]float64),
 	}
-	al.nodeCaps = make([]float64, p.Cluster.Len())
-	for i, n := range p.Cluster.Nodes() {
-		al.nodeCaps[i] = n.CPUMHz
+	if caps != nil {
+		al.nodeCaps = caps
+	} else {
+		al.nodeCaps = make([]float64, p.Cluster.Len())
+		for i, n := range p.Cluster.Nodes() {
+			al.nodeCaps[i] = n.CPUMHz
+		}
 	}
 	for idx, a := range p.Apps {
 		nodes := pl.NodesOf(idx)
@@ -178,7 +290,33 @@ func newAllocator(p *Problem, pl *Placement) *allocator {
 		}
 	}
 	al.jobDemand = make([]float64, len(al.jobs))
-	al.nodeLoad = make([]float64, len(al.nodeCaps))
+	al.scratch = getAllocScratch(len(al.nodeCaps))
+	al.nodeLoad = al.scratch.nodeLoad
+	seen := al.scratch.seen
+	for _, nd := range al.jobNode {
+		if !seen[nd] {
+			seen[nd] = true
+			al.jobNodes = append(al.jobNodes, nd)
+		}
+	}
+	for _, nd := range al.jobNodes {
+		seen[nd] = false // restore the scratch invariant
+	}
+	if len(al.webs) > 1 {
+		al.webHostIdx = al.scratch.hostIdx
+		for _, app := range al.webs {
+			for _, nd := range pl.NodesOf(app) {
+				if al.webHostIdx[nd] == -1 {
+					al.webHostIdx[nd] = 0
+					al.webHosts = append(al.webHosts, int(nd))
+				}
+			}
+		}
+		sort.Ints(al.webHosts)
+		for k, nd := range al.webHosts {
+			al.webHostIdx[nd] = k
+		}
+	}
 	return al
 }
 
@@ -249,8 +387,10 @@ func (al *allocator) memoryFits() bool {
 // apps keep their fixed allocations) fits node CPU capacities. When
 // raised >= 0, that app is probed at u+probeDelta instead.
 func (al *allocator) feasible(u float64, raised int) bool {
-	for i := range al.nodeLoad {
-		al.nodeLoad[i] = 0
+	// Only nodes hosting jobs ever accumulate load; resetting and
+	// checking just those keeps each probe independent of cluster size.
+	for _, nd := range al.jobNodes {
+		al.nodeLoad[nd] = 0
 	}
 	// Batch jobs are pinned: accumulate directly.
 	for k, app := range al.jobs {
@@ -268,8 +408,8 @@ func (al *allocator) feasible(u float64, raised int) bool {
 		al.nodeLoad[al.jobNode[k]] += d
 	}
 	tol := capTolerance * 1000
-	for i, load := range al.nodeLoad {
-		if load > al.nodeCaps[i]+tol {
+	for _, nd := range al.jobNodes {
+		if al.nodeLoad[nd] > al.nodeCaps[nd]+tol {
 			return false
 		}
 	}
@@ -313,11 +453,14 @@ func (al *allocator) feasible(u float64, raised int) bool {
 // nodeLoad) and returns the total routed. Shares, when requested, are
 // written per app in the order of NodesOf.
 func (al *allocator) routeWeb(webDemand []float64) (float64, error) {
-	n := 2 + len(al.webs) + len(al.nodeCaps)
+	// Only nodes hosting web instances can carry flow; nodes outside
+	// webHosts would be isolated vertices, so the network stays small
+	// even on clusters of thousands of nodes.
+	n := 2 + len(al.webs) + len(al.webHosts)
 	g := flow.NewNetwork(n)
 	src, sink := 0, n-1
 	appVertex := func(i int) int { return 1 + i }
-	nodeVertex := func(j int) int { return 1 + len(al.webs) + j }
+	nodeVertex := func(nd int) int { return 1 + len(al.webs) + al.webHostIdx[nd] }
 	for i, app := range al.webs {
 		if _, err := g.AddEdge(src, appVertex(i), webDemand[i]); err != nil {
 			return 0, err
@@ -328,12 +471,12 @@ func (al *allocator) routeWeb(webDemand []float64) (float64, error) {
 			}
 		}
 	}
-	for j := range al.nodeCaps {
-		r := al.nodeCaps[j] - al.nodeLoad[j]
+	for _, nd := range al.webHosts {
+		r := al.nodeCaps[nd] - al.nodeLoad[nd]
 		if r < 0 {
 			r = 0
 		}
-		if _, err := g.AddEdge(nodeVertex(j), sink, r); err != nil {
+		if _, err := g.AddEdge(nodeVertex(nd), sink, r); err != nil {
 			return 0, err
 		}
 	}
@@ -343,7 +486,7 @@ func (al *allocator) routeWeb(webDemand []float64) (float64, error) {
 // solve runs the lexicographic max-min level search and returns the
 // per-app allocations, or feasible=false.
 func (al *allocator) solve() (perApp []float64, shares map[int][]float64, feasibleOK bool) {
-	if !al.memoryFits() {
+	if !al.skipMemCheck && !al.memoryFits() {
 		return nil, nil, false
 	}
 	// The floor level must fit (minimum speeds and frozen demands).
@@ -435,7 +578,7 @@ func (al *allocator) distributeWeb(perApp []float64) map[int][]float64 {
 	if len(al.webs) == 0 {
 		return shares
 	}
-	residual := make([]float64, len(al.nodeCaps))
+	residual := al.scratch.residual
 	copy(residual, al.nodeCaps)
 	for k, app := range al.jobs {
 		residual[al.jobNode[k]] -= perApp[app]
@@ -457,7 +600,8 @@ func (al *allocator) distributeWeb(perApp []float64) map[int][]float64 {
 		return shares
 	}
 	// Multiple web apps: route with max-flow and read back edge flows.
-	n := 2 + len(al.webs) + len(al.nodeCaps)
+	// As in routeWeb, only web-hosting nodes appear in the network.
+	n := 2 + len(al.webs) + len(al.webHosts)
 	g := flow.NewNetwork(n)
 	src, sink := 0, n-1
 	type edgeKey struct{ app, slot int }
@@ -467,16 +611,16 @@ func (al *allocator) distributeWeb(perApp []float64) map[int][]float64 {
 			continue
 		}
 		for s, nd := range al.pl.NodesOf(app) {
-			ref, err := g.AddEdge(1+i, 1+len(al.webs)+int(nd), perApp[app])
+			ref, err := g.AddEdge(1+i, 1+len(al.webs)+al.webHostIdx[nd], perApp[app])
 			if err != nil {
 				continue
 			}
 			refs[edgeKey{app: i, slot: s}] = ref
 		}
 	}
-	for j := range al.nodeCaps {
-		r := math.Max(0, residual[j])
-		if _, err := g.AddEdge(1+len(al.webs)+j, sink, r); err != nil {
+	for _, nd := range al.webHosts {
+		r := math.Max(0, residual[nd])
+		if _, err := g.AddEdge(1+len(al.webs)+al.webHostIdx[nd], sink, r); err != nil {
 			continue
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"dynplace"
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
+	"dynplace/internal/core"
 	"dynplace/internal/metrics"
 	"dynplace/internal/router"
 	"dynplace/internal/scheduler"
@@ -321,11 +322,12 @@ func (d *Daemon) Metrics() MetricsView {
 		actions[name] = d.actions.Get(name)
 	}
 	return MetricsView{
-		Now:     d.clock.Now(),
-		Cycles:  d.cycles.Load(),
-		Actions: actions,
-		Router:  d.router.Snapshot(),
-		History: d.history.Snapshot(),
+		Now:              d.clock.Now(),
+		Cycles:           d.cycles.Load(),
+		Actions:          actions,
+		InfeasibleCycles: d.planner.InfeasibleCycles(),
+		Router:           d.router.Snapshot(),
+		History:          d.history.Snapshot(),
 	}
 }
 
@@ -422,6 +424,7 @@ func (d *Daemon) runCycle(now float64) {
 		d.cfg.Logf("cycle %d t=%.1f: plan failed: %v", cycle, now, err)
 		d.history.Push(CycleSnapshot{
 			Cycle: cycle, Time: now, LiveJobs: len(live), Err: err.Error(),
+			Infeasible: errors.Is(err, core.ErrInfeasible),
 		})
 		return
 	}

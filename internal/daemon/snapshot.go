@@ -60,6 +60,10 @@ type CycleSnapshot struct {
 	LiveJobs     int                `json:"liveJobs"`
 	QueuedJobs   int                `json:"queuedJobs"`
 	Err          string             `json:"err,omitempty"`
+	// Infeasible marks a cycle whose plan failed because no feasible
+	// placement exists (the cluster is overcommitted), as opposed to a
+	// malformed problem. See core.ErrInfeasible.
+	Infeasible bool `json:"infeasible,omitempty"`
 }
 
 // HealthView is the GET /healthz body.
@@ -75,9 +79,13 @@ type HealthView struct {
 // MetricsView is the GET /metrics body: lifetime action counters, the
 // router's per-application observations, and the retained cycle history.
 type MetricsView struct {
-	Now     float64                 `json:"now"`
-	Cycles  int64                   `json:"cycles"`
-	Actions map[string]int          `json:"actions"`
-	Router  map[string]router.Stats `json:"router"`
-	History []CycleSnapshot         `json:"history"`
+	Now     float64        `json:"now"`
+	Cycles  int64          `json:"cycles"`
+	Actions map[string]int `json:"actions"`
+	// InfeasibleCycles counts control cycles whose placement problem had
+	// no feasible solution over the daemon's lifetime (the per-cycle
+	// detail is the history entries' Infeasible flag).
+	InfeasibleCycles int                     `json:"infeasibleCycles"`
+	Router           map[string]router.Stats `json:"router"`
+	History          []CycleSnapshot         `json:"history"`
 }

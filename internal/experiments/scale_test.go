@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScaleSweepSmall(t *testing.T) {
+	rows, err := RunScaleSweep(ScaleSweepOptions{
+		NodeCounts:          []int{30, 60},
+		JobsPerHundredNodes: 40,
+		WebApps:             2,
+		Parallelism:         4,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatalf("RunScaleSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("parallel result diverged at %d nodes", r.Nodes)
+		}
+		if r.Candidates <= 0 || r.Sequential <= 0 || r.Parallel <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+		if r.Workers != 4 {
+			t.Fatalf("workers = %d, want 4", r.Workers)
+		}
+	}
+	table := ScaleSweepTable(rows)
+	if !strings.Contains(table, "speedup") || !strings.Contains(table, "yes") {
+		t.Fatalf("ScaleSweepTable:\n%s", table)
+	}
+}

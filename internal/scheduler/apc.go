@@ -26,6 +26,9 @@ type APC struct {
 	Levels []float64
 	// ExactHypothetical selects bisection instead of the sampled grid.
 	ExactHypothetical bool
+	// Parallelism bounds the optimizer's candidate-evaluation workers
+	// (1 = sequential, 0 = GOMAXPROCS); results are unaffected.
+	Parallelism int
 
 	// LastResult exposes the most recent optimizer outcome for metrics
 	// (candidates evaluated, utility vector, aggregate allocation).
@@ -101,6 +104,7 @@ func (a *APC) Schedule(now, cycle float64, jobs []*Job, nodes []NodeCapacity) ([
 		ExactHypothetical: a.ExactHypothetical,
 		Epsilon:           a.Epsilon,
 		MaxPasses:         a.MaxPasses,
+		Parallelism:       a.Parallelism,
 	}
 	res, err := core.Optimize(problem)
 	if err != nil {

@@ -25,6 +25,7 @@ type settings struct {
 
 	epsilon           float64
 	maxPasses         int
+	parallelism       int
 	exactHypothetical bool
 }
 
@@ -192,6 +193,21 @@ func WithOptimizerPasses(n int) Option {
 	}
 }
 
+// WithParallelism bounds the placement optimizer's candidate-evaluation
+// worker pool: 1 evaluates sequentially, n > 1 uses n workers, and 0
+// (the default) uses every available CPU. Placement decisions are
+// bit-identical at every setting — only solve latency changes — so this
+// is purely a latency/footprint knob.
+func WithParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: parallelism must be nonnegative", ErrBadOption)
+		}
+		s.parallelism = n
+		return nil
+	}
+}
+
 // build assembles the control-loop configuration.
 func (s *settings) build() (control.Config, error) {
 	if len(s.nodes) == 0 {
@@ -219,6 +235,7 @@ func (s *settings) build() (control.Config, error) {
 			Epsilon:           s.epsilon,
 			MaxPasses:         s.maxPasses,
 			ExactHypothetical: s.exactHypothetical,
+			Parallelism:       s.parallelism,
 		}
 	case s.policyName == "" || s.policyName == "apc":
 		cfg.Policy = &scheduler.APC{
@@ -226,6 +243,7 @@ func (s *settings) build() (control.Config, error) {
 			Epsilon:           s.epsilon,
 			MaxPasses:         s.maxPasses,
 			ExactHypothetical: s.exactHypothetical,
+			Parallelism:       s.parallelism,
 		}
 	case s.policyName == "edf":
 		cfg.Policy = scheduler.EDF{}
