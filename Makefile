@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test shuffle bench
+.PHONY: check fmt vet staticcheck docs build test shuffle bench
 
-check: fmt vet staticcheck build test
+check: fmt vet staticcheck docs build test
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,6 +25,13 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Documentation integrity: every relative markdown link in README/docs/
+# resolves, every package carries a package-level doc comment, and the
+# examples vet clean.
+docs:
+	$(GO) run ./cmd/doccheck
+	$(GO) vet ./examples/...
 
 build:
 	$(GO) build ./...

@@ -404,28 +404,64 @@ func BenchmarkOptimizerCycle(b *testing.B) {
 }
 
 // BenchmarkScaleSweep measures placement solve latency at datacenter
-// scale (500/1000/2000 nodes, mixed web+batch) with sequential and
-// parallel candidate evaluation over identical problems, and verifies
-// the two legs choose byte-identical placements. CI runs it with
-// -benchtime=1x and uploads the printed table as an artifact, so solver
-// performance is measured on every PR rather than asserted.
+// scale with two sweeps over identical randomized problems: the flat
+// sweep (500/1000/2000 nodes, sequential vs parallel candidate
+// evaluation, byte-identical placements verified) and the shard sweep
+// (2000/5000/10000 nodes, sharded coordinator vs flat solver, global
+// capacity constraints verified). CI runs it with -benchtime=1x and
+// uploads the printed tables as an artifact, so solver performance is
+// measured on every PR rather than asserted.
+//
+// The sweep enforces the sharding contract: the merged sharded
+// placement must satisfy every global constraint, a single-zone
+// coordinator must reproduce the flat solver bit for bit, and the
+// sharded solve of the largest cluster must finish faster than the
+// flat solve of the 2000-node reference.
 func BenchmarkScaleSweep(b *testing.B) {
 	opts := experiments.DefaultScaleSweepOptions()
+	shardOpts := experiments.DefaultShardSweepOptions()
 	var rows []experiments.ScaleSweepRow
+	var shardRows []experiments.ShardSweepRow
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = experiments.RunScaleSweep(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
+		shardRows, err = experiments.RunShardSweep(shardOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
-	printOnce(b, experiments.ScaleSweepTable(rows))
+	printOnce(b, experiments.ScaleSweepTable(rows)+"\n"+experiments.ShardSweepTable(shardRows))
 	for _, r := range rows {
 		if !r.Identical {
 			b.Fatalf("parallel placement diverged from sequential at %d nodes", r.Nodes)
 		}
 		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup-%dnodes", r.Nodes))
 		b.ReportMetric(r.Sequential.Seconds(), fmt.Sprintf("seq-s-%dnodes", r.Nodes))
+	}
+	var flatRef, largest experiments.ShardSweepRow
+	for _, r := range shardRows {
+		if !r.CapacityOK {
+			b.Fatalf("sharded placement violated global capacity at %d nodes", r.Nodes)
+		}
+		if r.Flat > 0 {
+			if !r.SingleShardIdentical {
+				b.Fatalf("single-shard coordinator diverged from flat solver at %d nodes", r.Nodes)
+			}
+			if r.Flat > flatRef.Flat {
+				flatRef = r
+			}
+		}
+		if r.Nodes > largest.Nodes {
+			largest = r
+		}
+		b.ReportMetric(r.Sharded.Seconds(), fmt.Sprintf("sharded-s-%dnodes", r.Nodes))
+	}
+	if flatRef.Nodes > 0 && largest.Nodes > flatRef.Nodes && largest.Sharded >= flatRef.Flat {
+		b.Fatalf("sharded solve of %d nodes (%v) not below flat solve of %d nodes (%v)",
+			largest.Nodes, largest.Sharded, flatRef.Nodes, flatRef.Flat)
 	}
 }
 

@@ -1,0 +1,219 @@
+// Command doccheck keeps the documentation set honest in CI: it
+// verifies that every relative link in the repository's markdown files
+// points at a file that exists, and that every Go package in the tree
+// carries a package-level doc comment. It is the docs counterpart of go
+// vet — make check and the CI docs job run it on every change, so a
+// renamed file or an undocumented package fails the build instead of
+// rotting silently.
+//
+// Usage:
+//
+//	doccheck [-root DIR]
+//
+// The link check covers the maintained documentation set — README.md,
+// CHANGES.md and everything under docs/ — but not the retrieval
+// artifacts (PAPER.md, PAPERS.md, SNIPPETS.md), whose links reference
+// material outside the repository. The package-comment guard covers the
+// whole tree. External links (http, https, mailto) are not fetched; the
+// check is purely structural, so it is fast and works offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	problems, err := run(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// run returns one message per broken link or undocumented package.
+func run(root string) ([]string, error) {
+	var problems []string
+	md, pkgs, err := collect(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range md {
+		ps, err := checkMarkdown(root, f)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	for _, dir := range pkgs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			rel, _ := filepath.Rel(root, dir)
+			problems = append(problems, fmt.Sprintf("%s: package has no package-level doc comment", rel))
+		}
+	}
+	return problems, nil
+}
+
+// collect walks the tree for markdown files and Go package directories,
+// skipping VCS and vendor-ish directories.
+func collect(root string) (md, pkgs []string, err error) {
+	seen := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "vendor" || name == "testdata" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(name, ".md") && maintainedDoc(root, path):
+			md = append(md, path)
+		case strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go"):
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				pkgs = append(pkgs, dir)
+			}
+		}
+		return nil
+	})
+	return md, pkgs, err
+}
+
+// maintainedDoc reports whether a markdown file belongs to the
+// documentation set this repository maintains (as opposed to retrieved
+// paper/snippet corpora, which link to material that was never part of
+// the tree).
+func maintainedDoc(root, path string) bool {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	switch rel {
+	case "PAPER.md", "PAPERS.md", "SNIPPETS.md":
+		return false
+	}
+	return true
+}
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdown verifies every relative link target in one file exists.
+func checkMarkdown(root, file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	rel, _ := filepath.Rel(root, file)
+	for _, m := range linkRe.FindAllStringSubmatch(stripCodeBlocks(string(data)), -1) {
+		target := m[1]
+		if skipLink(target) {
+			continue
+		}
+		// Drop a trailing anchor; the structural check is file existence.
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+			if target == "" {
+				continue
+			}
+		}
+		resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+		if _, err := os.Stat(resolved); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+		}
+	}
+	return problems, nil
+}
+
+// stripCodeBlocks blanks fenced code blocks and inline code spans so
+// link-shaped text inside examples is not checked.
+func stripCodeBlocks(s string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(stripInlineCode(line))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func stripInlineCode(line string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range line {
+		if r == '`' {
+			inCode = !inCode
+			continue
+		}
+		if !inCode {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func skipLink(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// hasPackageComment reports whether any non-test Go file in dir carries
+// a doc comment on its package clause.
+func hasPackageComment(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}

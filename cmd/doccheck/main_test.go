@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsBrokenLinkAndMissingPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "README.md"),
+		"see [docs](docs/GONE.md) and [ok](ok.md) and [web](https://example.com)\n")
+	write(t, filepath.Join(dir, "ok.md"), "fine\n")
+	write(t, filepath.Join(dir, "internal", "bare", "bare.go"), "package bare\n")
+	write(t, filepath.Join(dir, "internal", "good", "good.go"),
+		"// Package good is documented.\npackage good\n")
+
+	problems, err := run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, `broken link "docs/GONE.md"`) {
+		t.Errorf("broken link not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "internal/bare: package has no package-level doc comment") {
+		t.Errorf("missing package doc not reported:\n%s", joined)
+	}
+	if strings.Contains(joined, "ok.md") || strings.Contains(joined, "good") {
+		t.Errorf("false positives:\n%s", joined)
+	}
+	if len(problems) != 2 {
+		t.Errorf("problems = %d, want 2:\n%s", len(problems), joined)
+	}
+}
+
+func TestIgnoresLinksInCode(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"),
+		"```\n[x](missing-in-fence.md)\n```\nand `[y](missing-inline.md)` too\n")
+	problems, err := run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems in code spans reported: %v", problems)
+	}
+}
+
+func TestAnchorsAndImagesResolve(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"),
+		"[sec](b.md#section) [self](#local) ![img](img/x.png)\n")
+	write(t, filepath.Join(dir, "b.md"), "# Section\n")
+	write(t, filepath.Join(dir, "img", "x.png"), "png\n")
+	problems, err := run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+// TestRepositoryIsClean runs the real check over this repository: the
+// docs job's guarantee, enforced from the test suite as well.
+func TestRepositoryIsClean(t *testing.T) {
+	problems, err := run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("repository docs are broken:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -45,6 +45,8 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 0, "optimizer comparison resolution (0 = default)")
 		passes    = flag.Int("passes", 0, "optimizer improvement passes per cycle (0 = default)")
 		par       = flag.Int("parallelism", 0, "optimizer candidate-evaluation workers (1 = sequential, 0 = all CPUs)")
+		shards    = flag.Int("shards", 0, "placement zones solved concurrently (0 = one flat problem; 1 = coordinator with a single zone)")
+		shardSeed = flag.Int64("shard-seed", 0, "deterministic shard-rebalancing seed")
 		exact     = flag.Bool("exact", false, "use exact bisection for the batch performance predictor")
 		freeCosts = flag.Bool("free-costs", false, "disable placement-action costs (default: the paper's measured constants)")
 		quiet     = flag.Bool("quiet", false, "suppress per-cycle log lines")
@@ -76,6 +78,8 @@ func main() {
 			MaxPasses:         *passes,
 			ExactHypothetical: *exact,
 			Parallelism:       *par,
+			Shards:            *shards,
+			ShardSeed:         *shardSeed,
 		},
 		QueueCap: qc,
 		History:  *history,
@@ -98,8 +102,12 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("dynplaced: managing %d nodes (%.0f MHz, %.0f MB) on %s, cycle %.1fs",
-		cl.Len(), cl.TotalCPU(), cl.TotalMem(), *listen, *cycle)
+	mode := "flat placement"
+	if *shards >= 1 {
+		mode = fmt.Sprintf("%d placement zones", *shards)
+	}
+	log.Printf("dynplaced: managing %d nodes (%.0f MHz, %.0f MB) on %s, cycle %.1fs, %s",
+		cl.Len(), cl.TotalCPU(), cl.TotalMem(), *listen, *cycle, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

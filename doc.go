@@ -68,4 +68,20 @@
 // virtual time. The simulator and the daemon execute the same planner
 // (internal/control.Planner), which is what makes behavior validated
 // against the paper's experiments carry over to live operation.
+//
+// # Scaling: parallelism and sharding
+//
+// Two knobs scale the per-cycle placement solve past the paper's
+// 25-node testbed. WithParallelism fans candidate evaluation out to a
+// bounded worker pool; placement decisions are bit-identical at every
+// setting, so it trades CPU for latency only. WithShards (or
+// WithShardSpec for an explicit rebalancing seed) partitions the
+// cluster into zones solved concurrently as independent placement
+// problems, with web applications and batch jobs rebalanced across
+// zones each cycle from per-zone utilization and unmet demand — the
+// lever for clusters where even a parallel flat solve cannot finish
+// within the control cycle. A single-zone configuration reproduces the
+// flat solver bit for bit, and for a fixed ShardSpec the sharded
+// trajectory is fully reproducible. docs/ARCHITECTURE.md maps the
+// packages; docs/OPERATIONS.md is the operator's runbook.
 package dynplace

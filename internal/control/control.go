@@ -1,8 +1,7 @@
 // Package control implements the management control loop: every cycle T
 // it consults the configured scheduling policy (or the integrated
-// placement controller for mixed workloads), applies the resulting
-// placement actions with their virtualization costs, and records the time
-// series the paper's figures report.
+// placement controller for mixed workloads) and applies the resulting
+// placement actions with their virtualization costs.
 //
 // Two modes are supported, matching the paper's Experiment Three
 // configurations:
@@ -13,6 +12,15 @@
 //   - Dynamic mode: the placement controller manages web applications and
 //     batch jobs together on the full cluster, sharing resources by
 //     equalizing relative performance.
+//
+// The dynamic-mode cycle lives in Planner, which owns the web
+// application set and the placement carried between cycles. Two drivers
+// share it: Runner executes experiments under virtual time and records
+// the time series the paper's figures report, and the live daemon
+// (internal/daemon) runs the identical planner on a real clock. When
+// DynamicConfig.Shards is set, the planner delegates each cycle to the
+// sharded coordinator (internal/shard), which solves the cluster as
+// independent zones instead of one flat placement problem.
 package control
 
 import (
@@ -42,6 +50,15 @@ type DynamicConfig struct {
 	// (1 = sequential, 0 = GOMAXPROCS). Placement decisions are
 	// identical at every setting; only solve latency changes.
 	Parallelism int
+	// Shards, when at least 1, partitions the cluster into that many
+	// zones solved concurrently by the shard coordinator, with web apps
+	// and batch jobs rebalanced across zones each cycle. 0 keeps the
+	// single flat placement problem. 1 engages the coordinator with one
+	// zone, whose output is bit-identical to the flat solver's.
+	Shards int
+	// ShardSeed drives the coordinator's deterministic first-touch
+	// spreading; rebalancing is reproducible for a fixed seed.
+	ShardSeed int64
 }
 
 // Config describes one experiment run.

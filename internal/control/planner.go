@@ -7,6 +7,7 @@ import (
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
 	"dynplace/internal/scheduler"
+	"dynplace/internal/shard"
 	"dynplace/internal/txn"
 )
 
@@ -28,6 +29,11 @@ type Planner struct {
 	webPlacement [][]cluster.NodeID
 	failed       map[cluster.NodeID]bool
 
+	// coord is the sharded placement coordinator, engaged when the
+	// configuration asks for at least one shard; nil means every cycle
+	// is one flat placement problem.
+	coord *shard.Coordinator
+
 	// infeasibleCycles counts Plan calls that failed because no feasible
 	// placement exists (core.ErrInfeasible) — the signal that the
 	// cluster is overcommitted rather than the input malformed.
@@ -40,12 +46,32 @@ func NewPlanner(cl *cluster.Cluster, costs cluster.CostModel, dyn DynamicConfig)
 	if cl == nil || cl.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty cluster", ErrBadConfig)
 	}
-	return &Planner{
+	p := &Planner{
 		cluster: cl,
 		costs:   costs,
 		dyn:     dyn,
 		failed:  make(map[cluster.NodeID]bool),
-	}, nil
+	}
+	if dyn.Shards < 0 {
+		return nil, fmt.Errorf("%w: negative shard count %d", ErrBadConfig, dyn.Shards)
+	}
+	if dyn.Shards >= 1 {
+		coord, err := shard.New(shard.Config{Count: dyn.Shards, Seed: dyn.ShardSeed})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		p.coord = coord
+	}
+	return p, nil
+}
+
+// ShardStats returns the per-zone stats of the most recent sharded
+// cycle, or nil when sharding is off.
+func (p *Planner) ShardStats() []shard.Stats {
+	if p.coord == nil {
+		return nil
+	}
+	return p.coord.Stats()
 }
 
 // AddWebApp registers a transactional application with the controller. The
@@ -160,6 +186,9 @@ type Plan struct {
 	// Changes counts instance-level placement differences the optimizer
 	// introduced relative to the carried placement.
 	Changes int
+	// Shards holds the per-zone solve stats when the sharded coordinator
+	// produced this plan; nil for a flat solve.
+	Shards []shard.Stats
 }
 
 // BatchUtilityMean returns the mean predicted relative performance over
@@ -258,7 +287,12 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 		MaxPasses:         p.dyn.MaxPasses,
 		Parallelism:       p.dyn.Parallelism,
 	}
-	res, err := core.Optimize(problem)
+	var res *core.Result
+	if p.coord != nil {
+		res, plan.Shards, err = p.coord.Solve(problem)
+	} else {
+		res, err = core.Optimize(problem)
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
 			p.infeasibleCycles++

@@ -172,3 +172,60 @@ func TestPlannerSurfacesInfeasible(t *testing.T) {
 		t.Fatalf("InfeasibleCycles = %d, want 1", got)
 	}
 }
+
+// TestPlannerShardedMode runs the planner with the shard coordinator
+// engaged: the plan must carry per-zone stats, place the workload, and
+// keep ShardStats consistent with the last cycle. A flat planner must
+// report no shard stats at all.
+func TestPlannerShardedMode(t *testing.T) {
+	cl, err := cluster.Uniform(4, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{Shards: 2, ShardSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddWebApp(testApp("web", 5)); err != nil {
+		t.Fatal(err)
+	}
+	spec := &batch.Spec{
+		Name:   "job",
+		Stages: []batch.Stage{{WorkMcycles: 1e6, MaxSpeedMHz: 2500, MemoryMB: 500}},
+		Submit: 0, DesiredStart: 0, Deadline: 1200,
+	}
+	live := []*scheduler.Job{scheduler.NewJob(spec)}
+	plan, err := p.Plan(0, 60, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 2 {
+		t.Fatalf("plan shards = %d, want 2", len(plan.Shards))
+	}
+	if len(plan.Assignments) != 1 || plan.WebAllocMHz[0] <= 0 {
+		t.Fatalf("sharded plan left workload unplaced: %+v", plan)
+	}
+	got := p.ShardStats()
+	if len(got) != 2 {
+		t.Fatalf("ShardStats = %d entries, want 2", len(got))
+	}
+	if got[0].Nodes+got[1].Nodes != 4 {
+		t.Fatalf("shard nodes sum to %d, want 4", got[0].Nodes+got[1].Nodes)
+	}
+
+	if flat := testPlanner(t); flat.ShardStats() != nil {
+		t.Fatal("flat planner reports shard stats")
+	}
+}
+
+// TestPlannerShardCountValidation pins that a bad shard count is
+// rejected at construction, not at the first cycle.
+func TestPlannerShardCountValidation(t *testing.T) {
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{Shards: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Shards -1: err = %v, want ErrBadConfig", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"dynplace/internal/metrics"
 	"dynplace/internal/router"
 	"dynplace/internal/scheduler"
+	"dynplace/internal/shard"
 )
 
 // Config describes a daemon instance.
@@ -328,7 +329,28 @@ func (d *Daemon) Metrics() MetricsView {
 		InfeasibleCycles: d.planner.InfeasibleCycles(),
 		Router:           d.router.Snapshot(),
 		History:          d.history.Snapshot(),
+		Shards:           d.planner.ShardStats(),
 	}
+}
+
+// shardSpread condenses per-zone stats into the two health gauges the
+// cycle history retains: the hottest zone's utilization and the
+// max−min utilization spread (shard imbalance).
+func shardSpread(stats []shard.Stats) (maxUtil, imbalance float64) {
+	if len(stats) == 0 {
+		return 0, 0
+	}
+	minUtil := stats[0].Utilization
+	maxUtil = stats[0].Utilization
+	for _, s := range stats[1:] {
+		if s.Utilization < minUtil {
+			minUtil = s.Utilization
+		}
+		if s.Utilization > maxUtil {
+			maxUtil = s.Utilization
+		}
+	}
+	return maxUtil, maxUtil - minUtil
 }
 
 // WebAppNames returns the registered applications in sorted order.
@@ -441,6 +463,7 @@ func (d *Daemon) runCycle(now float64) {
 		OmegaGMHz:       plan.OmegaG,
 		Changes:         changed,
 		InstanceChanges: plan.Changes,
+		Shards:          plan.Shards,
 	}
 	webUtil := make(map[string]float64, len(webApps))
 	for i, w := range webApps {
@@ -489,15 +512,18 @@ func (d *Daemon) runCycle(now float64) {
 	d.placement.Store(snap)
 
 	batchUtil, _ := plan.BatchUtilityMean()
+	maxUtil, imbalance := shardSpread(plan.Shards)
 	d.history.Push(CycleSnapshot{
-		Cycle:        cycle,
-		Time:         now,
-		Changes:      changed,
-		OmegaGMHz:    plan.OmegaG,
-		BatchUtility: batchUtil,
-		WebUtilities: webUtil,
-		LiveJobs:     len(live),
-		QueuedJobs:   queued,
+		Cycle:               cycle,
+		Time:                now,
+		Changes:             changed,
+		OmegaGMHz:           plan.OmegaG,
+		BatchUtility:        batchUtil,
+		WebUtilities:        webUtil,
+		LiveJobs:            len(live),
+		QueuedJobs:          queued,
+		ShardImbalance:      imbalance,
+		MaxShardUtilization: maxUtil,
 	})
 	d.cfg.Logf("cycle %d t=%.1f: web=%d jobs=%d queued=%d changes=%d omegaG=%.0fMHz",
 		cycle, now, len(webApps), len(live), queued, changed, plan.OmegaG)

@@ -1,6 +1,9 @@
 package daemon
 
-import "dynplace/internal/router"
+import (
+	"dynplace/internal/router"
+	"dynplace/internal/shard"
+)
 
 // InstanceView is one placed instance of a web application, with the
 // CPU share that doubles as its request-dispatch weight.
@@ -46,6 +49,9 @@ type PlacementSnapshot struct {
 	// introduced relative to the previous placement, web included.
 	Changes         int `json:"changes"`
 	InstanceChanges int `json:"instanceChanges"`
+	// Shards holds the per-zone solve stats when the daemon runs the
+	// sharded coordinator (-shards); absent in flat mode.
+	Shards []shard.Stats `json:"shards,omitempty"`
 }
 
 // CycleSnapshot is the compact per-cycle observation record retained in
@@ -64,6 +70,11 @@ type CycleSnapshot struct {
 	// placement exists (the cluster is overcommitted), as opposed to a
 	// malformed problem. See core.ErrInfeasible.
 	Infeasible bool `json:"infeasible,omitempty"`
+	// ShardImbalance is the utilization spread across zones this cycle
+	// (max − min), the shard-imbalance health signal; MaxShardUtilization
+	// is the hottest zone. Both zero in flat mode.
+	ShardImbalance      float64 `json:"shardImbalance,omitempty"`
+	MaxShardUtilization float64 `json:"maxShardUtilization,omitempty"`
 }
 
 // HealthView is the GET /healthz body.
@@ -88,4 +99,7 @@ type MetricsView struct {
 	InfeasibleCycles int                     `json:"infeasibleCycles"`
 	Router           map[string]router.Stats `json:"router"`
 	History          []CycleSnapshot         `json:"history"`
+	// Shards is the latest cycle's per-zone stats when the daemon runs
+	// the sharded coordinator; absent in flat mode.
+	Shards []shard.Stats `json:"shards,omitempty"`
 }

@@ -1,8 +1,19 @@
-// Package experiments reproduces the paper's evaluation: Experiment One
-// (prediction accuracy, Figure 2 and Table 2), Experiment Two (policy
-// comparison, Figures 3-5), and Experiment Three (heterogeneous
-// workloads, Figures 6-7). The same runners back the mixedsim CLI and
-// the benchmark harness.
+// Package experiments reproduces the paper's evaluation and extends it
+// past the paper's 25-node testbed.
+//
+// The paper's experiments: Experiment One (prediction accuracy, Figure
+// 2 and Table 2), Experiment Two (policy comparison, Figures 3-5) and
+// Experiment Three (heterogeneous workloads, Figures 6-7), plus the
+// Section 4.3 worked example (Table 1). The same runners back the
+// mixedsim CLI and the benchmark harness, so the figures can be
+// regenerated from either.
+//
+// The scale extensions: RunScaleSweep times the flat placement solver
+// at 500-2000 nodes with sequential vs parallel candidate evaluation,
+// and RunShardSweep measures the sharded coordinator (internal/shard)
+// against the flat solver at 2000-10000 nodes, verifying the merged
+// placements against the global capacity constraints. Both print
+// fixed-width tables that CI uploads as artifacts on every run.
 package experiments
 
 import (

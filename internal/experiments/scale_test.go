@@ -35,3 +35,40 @@ func TestRunScaleSweepSmall(t *testing.T) {
 		t.Fatalf("ScaleSweepTable:\n%s", table)
 	}
 }
+
+func TestRunShardSweepSmall(t *testing.T) {
+	rows, err := RunShardSweep(ShardSweepOptions{
+		NodeCounts:          []int{40, 80},
+		Shards:              4,
+		FlatNodeCap:         40,
+		JobsPerHundredNodes: 40,
+		WebApps:             2,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatalf("RunShardSweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.CapacityOK {
+			t.Fatalf("capacity violated at %d nodes", r.Nodes)
+		}
+		if r.Sharded <= 0 || r.Shards != 4 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+	}
+	// The 40-node row ran the flat leg and the single-shard identity
+	// check; the 80-node row was sharded-only.
+	if rows[0].Flat <= 0 || !rows[0].SingleShardIdentical {
+		t.Fatalf("flat-leg row: %+v", rows[0])
+	}
+	if rows[1].Flat != 0 || rows[1].SingleShardIdentical {
+		t.Fatalf("sharded-only row ran the flat leg: %+v", rows[1])
+	}
+	table := ShardSweepTable(rows)
+	if !strings.Contains(table, "IDENTICAL") || !strings.Contains(table, "ok") {
+		t.Fatalf("ShardSweepTable:\n%s", table)
+	}
+}

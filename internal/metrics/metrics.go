@@ -1,6 +1,14 @@
-// Package metrics collects and summarizes experiment output: time
-// series, distribution summaries, and fixed-width text tables matching
-// the rows and series the paper's figures report.
+// Package metrics provides the measurement primitives shared by the
+// simulator and the live daemon: append-only time series sampled once
+// per control cycle, named action counters, distribution summaries,
+// fixed-width text tables matching the rows and series the paper's
+// figures report, and a generic fixed-capacity ring buffer (Ring).
+//
+// The experiment runners record series and print tables from them; the
+// daemon uses Counter for lifetime placement-action totals and Ring to
+// retain bounded per-cycle history and completed-job results for its
+// /metrics endpoint. Nothing here is safe for concurrent use on its
+// own; callers (the control loop, the daemon's mutex) serialize access.
 package metrics
 
 import (

@@ -5,6 +5,7 @@ import (
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
+	"dynplace/internal/shard"
 )
 
 // APC schedules batch jobs through the Application Placement Controller:
@@ -29,10 +30,26 @@ type APC struct {
 	// Parallelism bounds the optimizer's candidate-evaluation workers
 	// (1 = sequential, 0 = GOMAXPROCS); results are unaffected.
 	Parallelism int
+	// Shards, when at least 1, partitions the offered nodes into that
+	// many zones solved concurrently, with jobs rebalanced across zones
+	// each cycle (see internal/shard). 0 solves one flat problem.
+	Shards int
+	// ShardSeed drives the shard coordinator's deterministic
+	// first-touch spreading.
+	ShardSeed int64
 
 	// LastResult exposes the most recent optimizer outcome for metrics
 	// (candidates evaluated, utility vector, aggregate allocation).
 	LastResult *core.Result
+	// LastShards exposes the most recent per-zone stats (nil when
+	// sharding is off).
+	LastShards []shard.Stats
+
+	// coord persists the zone assignment across cycles; coordCfg is the
+	// configuration it was built with, so a Shards/ShardSeed change
+	// between cycles rebuilds it instead of being silently ignored.
+	coord    *shard.Coordinator
+	coordCfg shard.Config
 }
 
 var _ Policy = (*APC)(nil)
@@ -106,7 +123,24 @@ func (a *APC) Schedule(now, cycle float64, jobs []*Job, nodes []NodeCapacity) ([
 		MaxPasses:         a.MaxPasses,
 		Parallelism:       a.Parallelism,
 	}
-	res, err := core.Optimize(problem)
+	if a.Shards < 0 {
+		return nil, fmt.Errorf("scheduler: negative shard count %d", a.Shards)
+	}
+	var res *core.Result
+	if a.Shards >= 1 {
+		cfg := shard.Config{Count: a.Shards, Seed: a.ShardSeed}
+		if a.coord == nil || a.coordCfg != cfg {
+			a.coord, err = shard.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scheduler: %w", err)
+			}
+			a.coordCfg = cfg
+		}
+		res, a.LastShards, err = a.coord.Solve(problem)
+	} else {
+		a.coord, a.LastShards = nil, nil
+		res, err = core.Optimize(problem)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: optimize: %w", err)
 	}

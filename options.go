@@ -27,6 +27,7 @@ type settings struct {
 	maxPasses         int
 	parallelism       int
 	exactHypothetical bool
+	shards            ShardSpec
 }
 
 // ErrBadOption reports an invalid configuration.
@@ -208,6 +209,41 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// ShardSpec configures the sharded placement coordinator: the cluster
+// is partitioned into Count zones, each solved as an independent
+// placement problem every cycle, with workloads rebalanced across zones
+// from per-zone utilization and unmet demand. Seed drives the
+// deterministic first-touch spreading of new workloads; for a fixed
+// spec the resulting placements are fully reproducible.
+type ShardSpec struct {
+	// Count is the number of zones. 1 engages the coordinator with a
+	// single zone, whose placements are bit-identical to the flat
+	// solver's.
+	Count int
+	// Seed is the deterministic rebalancing seed (0 is a valid seed).
+	Seed int64
+}
+
+// WithShards partitions the cluster into count zones solved
+// concurrently — the scaling lever for clusters too large for one flat
+// placement problem per cycle. Shorthand for WithShardSpec with a zero
+// seed.
+func WithShards(count int) Option {
+	return WithShardSpec(ShardSpec{Count: count})
+}
+
+// WithShardSpec configures the sharded placement coordinator with an
+// explicit zone count and rebalancing seed.
+func WithShardSpec(spec ShardSpec) Option {
+	return func(s *settings) error {
+		if spec.Count < 1 {
+			return fmt.Errorf("%w: shard count must be at least 1, got %d", ErrBadOption, spec.Count)
+		}
+		s.shards = spec
+		return nil
+	}
+}
+
 // build assembles the control-loop configuration.
 func (s *settings) build() (control.Config, error) {
 	if len(s.nodes) == 0 {
@@ -236,6 +272,8 @@ func (s *settings) build() (control.Config, error) {
 			MaxPasses:         s.maxPasses,
 			ExactHypothetical: s.exactHypothetical,
 			Parallelism:       s.parallelism,
+			Shards:            s.shards.Count,
+			ShardSeed:         s.shards.Seed,
 		}
 	case s.policyName == "" || s.policyName == "apc":
 		cfg.Policy = &scheduler.APC{
@@ -244,6 +282,8 @@ func (s *settings) build() (control.Config, error) {
 			MaxPasses:         s.maxPasses,
 			ExactHypothetical: s.exactHypothetical,
 			Parallelism:       s.parallelism,
+			Shards:            s.shards.Count,
+			ShardSeed:         s.shards.Seed,
 		}
 	case s.policyName == "edf":
 		cfg.Policy = scheduler.EDF{}

@@ -1,0 +1,128 @@
+package dynplace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardScenario drives one mixed web+batch run and returns the
+// observable outcome: job results and total placement churn.
+func shardScenario(t *testing.T, extra ...Option) ([]JobResult, int) {
+	t.Helper()
+	opts := append([]Option{
+		WithUniformCluster(8, 15600, 16384),
+		WithControlCycle(300),
+		WithDynamicPlacement(),
+	}, extra...)
+	sys := newTestSystem(t, opts...)
+	if err := sys.AddWebApp(WebAppSpec{
+		Name: "web", ArrivalRate: 100, DemandPerRequest: 120,
+		BaseLatency: 0.04, GoalResponseTime: 0.25,
+		MaxPowerMHz: 30000, MemoryMB: 2000,
+	}); err != nil {
+		t.Fatalf("AddWebApp: %v", err)
+	}
+	for j := 0; j < 8; j++ {
+		if err := sys.SubmitJob(JobSpec{
+			Name: fmt.Sprintf("job-%d", j), WorkMcycles: 3900 * 1200,
+			MaxSpeedMHz: 3900, MemoryMB: 4320,
+			Submit: float64(j) * 300, Deadline: 6 * 3600,
+		}); err != nil {
+			t.Fatalf("SubmitJob: %v", err)
+		}
+	}
+	if err := sys.RunUntilDrained(36000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return sys.JobResults(), sys.PlacementChanges()
+}
+
+func TestWithShardsEndToEnd(t *testing.T) {
+	results, _ := shardScenario(t, WithShards(2))
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Fatalf("job %s did not complete under sharding", r.Name)
+		}
+		if !r.MetGoal {
+			t.Fatalf("job %s missed its goal under sharding", r.Name)
+		}
+	}
+}
+
+// TestSingleShardMatchesFlatSystem pins the single-shard guarantee at
+// the public-API level: a system configured with WithShards(1) must
+// behave identically to the flat system over a whole run — same job
+// outcomes, same placement churn.
+func TestSingleShardMatchesFlatSystem(t *testing.T) {
+	flatResults, flatChanges := shardScenario(t)
+	shardResults, shardChanges := shardScenario(t, WithShards(1))
+	if !reflect.DeepEqual(flatResults, shardResults) {
+		t.Fatalf("single-shard run diverged from flat run:\nflat:  %+v\nshard: %+v",
+			flatResults, shardResults)
+	}
+	if flatChanges != shardChanges {
+		t.Fatalf("placement changes: flat %d, single-shard %d", flatChanges, shardChanges)
+	}
+}
+
+// TestShardedRunsAreReproducible pins rebalancing determinism at the
+// public-API level: two identical sharded runs with the same seed must
+// produce identical outcomes at any parallelism setting.
+func TestShardedRunsAreReproducible(t *testing.T) {
+	base, baseChanges := shardScenario(t, WithShardSpec(ShardSpec{Count: 2, Seed: 42}))
+	for _, par := range []int{1, 3} {
+		got, gotChanges := shardScenario(t,
+			WithShardSpec(ShardSpec{Count: 2, Seed: 42}), WithParallelism(par))
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("parallelism %d: sharded run not reproducible:\nbase: %+v\ngot:  %+v",
+				par, base, got)
+		}
+		if baseChanges != gotChanges {
+			t.Fatalf("parallelism %d: changes %d, want %d", par, gotChanges, baseChanges)
+		}
+	}
+}
+
+func TestWithShardsPolicyMode(t *testing.T) {
+	sys := newTestSystem(t,
+		WithUniformCluster(8, 15600, 16384),
+		WithControlCycle(300),
+		WithPolicy("apc"),
+		WithFreePlacementActions(),
+		WithShards(2),
+	)
+	for j := 0; j < 6; j++ {
+		if err := sys.SubmitJob(JobSpec{
+			Name: fmt.Sprintf("batch-%d", j), WorkMcycles: 3900 * 1200,
+			MaxSpeedMHz: 3900, MemoryMB: 4320, Deadline: 4 * 3600,
+		}); err != nil {
+			t.Fatalf("SubmitJob: %v", err)
+		}
+	}
+	if err := sys.RunUntilDrained(36000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.OnTimeRate(); got != 1 {
+		t.Fatalf("on-time rate = %v, want 1", got)
+	}
+}
+
+func TestWithShardsValidation(t *testing.T) {
+	if _, err := NewSystem(
+		WithUniformCluster(2, 1000, 2000),
+		WithShards(0),
+	); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("WithShards(0): err = %v, want ErrBadOption", err)
+	}
+	if _, err := NewSystem(
+		WithUniformCluster(2, 1000, 2000),
+		WithShardSpec(ShardSpec{Count: -3}),
+	); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("negative count: err = %v, want ErrBadOption", err)
+	}
+}
