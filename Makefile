@@ -43,6 +43,7 @@ test:
 shuffle:
 	$(GO) test -count=2 -shuffle=on ./...
 
-# The CI bench-smoke job: one scale-sweep run, table on stdout.
+# The CI bench-smoke job: one scale-sweep + churn-sweep run, tables on
+# stdout and BENCH_*.json rows in the working directory.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkScaleSweep -benchtime=1x .
+	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep' -benchtime=1x .

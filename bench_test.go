@@ -14,6 +14,7 @@ package dynplace
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -434,6 +435,8 @@ func BenchmarkScaleSweep(b *testing.B) {
 		}
 	}
 	printOnce(b, experiments.ScaleSweepTable(rows)+"\n"+experiments.ShardSweepTable(shardRows))
+	writeBenchJSON(b, "scale_sweep", rows)
+	writeBenchJSON(b, "shard_sweep", shardRows)
 	for _, r := range rows {
 		if !r.Identical {
 			b.Fatalf("parallel placement diverged from sequential at %d nodes", r.Nodes)
@@ -462,6 +465,55 @@ func BenchmarkScaleSweep(b *testing.B) {
 	if flatRef.Nodes > 0 && largest.Nodes > flatRef.Nodes && largest.Sharded >= flatRef.Flat {
 		b.Fatalf("sharded solve of %d nodes (%v) not below flat solve of %d nodes (%v)",
 			largest.Nodes, largest.Sharded, flatRef.Nodes, flatRef.Flat)
+	}
+}
+
+// BenchmarkChurnSweep runs the kill-and-recover scenarios: a mixed
+// workload loses nodes abruptly mid-run, replacement capacity joins
+// later, and the table reports the web utility dip, the rescue count
+// and the batch deadline misses through the failure. CI runs it with
+// -benchtime=1x next to the scale sweep and uploads both the printed
+// table and the BENCH_churn_sweep.json rows.
+//
+// The sweep enforces the recovery contract: no job may be lost (rescue,
+// not abandonment) and the web utility must be back within tolerance of
+// its pre-failure baseline by the horizon.
+func BenchmarkChurnSweep(b *testing.B) {
+	opts := experiments.DefaultChurnSweepOptions()
+	var rows []experiments.ChurnSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunChurnSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.ChurnSweepTable(rows))
+	writeBenchJSON(b, "churn_sweep", rows)
+	for _, r := range rows {
+		if r.LostJobs != 0 {
+			b.Fatalf("%d jobs lost with %d nodes failed — rescue contract broken", r.LostJobs, r.FailedNodes)
+		}
+		if r.FinalWebUtility < r.BaselineWebUtility-0.02 {
+			b.Fatalf("web utility never recovered with %d nodes failed: baseline %.3f, final %.3f",
+				r.FailedNodes, r.BaselineWebUtility, r.FinalWebUtility)
+		}
+		b.ReportMetric(float64(r.Rescues), fmt.Sprintf("rescues-%dfailed", r.FailedNodes))
+		b.ReportMetric(100*r.OnTimeRate, fmt.Sprintf("ontime-%dfailed-pct", r.FailedNodes))
+		b.ReportMetric(float64(r.DipCycles), fmt.Sprintf("dipcycles-%dfailed", r.FailedNodes))
+	}
+}
+
+// writeBenchJSON emits the sweep rows as BENCH_<name>.json when the CI
+// bench-smoke job (or a local run) sets BENCH_JSON_DIR.
+func writeBenchJSON(b *testing.B, name string, rows any) {
+	b.Helper()
+	dir := os.Getenv("BENCH_JSON_DIR")
+	if dir == "" {
+		return
+	}
+	if err := experiments.WriteBenchJSON(dir, name, rows); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -1,8 +1,17 @@
 // Command dynplaced runs the application placement controller as a live
 // daemon: the control loop re-evaluates web and batch placement every
-// cycle against the current workload registry, swaps the placement in
-// atomically, and republishes request-dispatch weights. Workloads are
-// added, observed and removed over a JSON HTTP API without restarts.
+// cycle against the current workload registry and node inventory, swaps
+// the placement in atomically, and republishes request-dispatch weights.
+// Workloads are added, observed and removed over a JSON HTTP API without
+// restarts, and so are nodes: machines join (POST /nodes), drain
+// gracefully (POST /nodes/{name}/drain), fail abruptly
+// (POST /nodes/{name}/fail — jobs are rescued with progress intact) and
+// leave (DELETE /nodes/{name}) while the daemon runs. The -cluster flag
+// only seeds the initial inventory.
+//
+// /healthz reports the control loop's real state: "ok", "degraded"
+// while placement is infeasible (e.g. after losing too many nodes), or
+// "failing" when cycles error, with the last error attached.
 //
 // Example:
 //
@@ -15,6 +24,9 @@
 //	curl -s -X POST localhost:8080/jobs -d '{"relative":true,"job":{
 //	  "name":"nightly","workMcycles":3.9e6,"maxSpeedMHz":3000,
 //	  "memoryMB":2000,"deadline":14400}}'
+//	curl -s -X POST localhost:8080/nodes -d '{"name":"spare-1",
+//	  "cpuMHz":3000,"memMB":4096}'
+//	curl -s -X POST localhost:8080/nodes/node-2/drain
 //	curl -s localhost:8080/placement
 package main
 

@@ -59,7 +59,14 @@
 // router as dispatch weights (POST /route/{app} routes one request).
 // GET /placement, GET /metrics and GET /healthz expose the controller's
 // state: current placement with relative-performance values, a
-// ring-buffer history of per-cycle observations, and liveness.
+// ring-buffer history of per-cycle observations, and a truthful health
+// status (degraded/failing with the last error while cycles cannot
+// plan). The node inventory is live too: machines join (POST /nodes),
+// drain gracefully, fail abruptly (jobs are rescued with progress
+// intact) and leave while the daemon runs, and the controller replans
+// against the current inventory every cycle. In the simulator the same
+// lifecycle is driven by System.AddNode, System.DrainNode and
+// System.FailNode.
 //
 // The daemon is built on a pluggable clock (internal/daemon.Clock): in
 // production it ticks on wall time; in tests the discrete-event

@@ -122,11 +122,33 @@ func (s *System) SubmitParallelJob(spec JobSpec, shards int) error {
 
 // FailNode schedules a node failure at virtual time at: the node's
 // capacity disappears and its jobs are suspended (progress preserved).
+// Under dynamic placement the displaced jobs are rescued onto surviving
+// nodes at the next cycle, counted in JobResult.Rescues.
 func (s *System) FailNode(at float64, node int) error {
 	if err := s.ensureRunner(); err != nil {
 		return err
 	}
 	return s.runner.FailNode(at, cluster.NodeID(node))
+}
+
+// AddNode schedules a node joining the cluster at virtual time at; its
+// capacity is offered to the placement optimizer from the next control
+// cycle on. Dynamic placement mode only.
+func (s *System) AddNode(at float64, name string, cpuMHz, memMB float64) error {
+	if err := s.ensureRunner(); err != nil {
+		return err
+	}
+	return s.runner.AddNode(at, cluster.Node{Name: name, CPUMHz: cpuMHz, MemMB: memMB})
+}
+
+// DrainNode schedules a graceful node departure at virtual time at: the
+// node stops receiving placements and its work is live-migrated off at
+// the next cycle, with no lost progress. Dynamic placement mode only.
+func (s *System) DrainNode(at float64, node int) error {
+	if err := s.ensureRunner(); err != nil {
+		return err
+	}
+	return s.runner.DrainNode(at, cluster.NodeID(node))
 }
 
 func (s *System) ensureRunner() error {
@@ -184,6 +206,7 @@ func (s *System) JobResults() []JobResult {
 			Suspends:   j.Suspends,
 			Resumes:    j.Resumes,
 			Migrations: j.Migrations,
+			Rescues:    j.Rescues,
 		}
 		if r.Completed {
 			r.CompletedAt = j.CompletedAt

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustInventory(t *testing.T, count int) *Inventory {
+	t.Helper()
+	c, err := Uniform(count, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewInventory(c)
+}
+
+func TestInventoryLifecycle(t *testing.T) {
+	inv := mustInventory(t, 3)
+	if inv.Version() != 1 {
+		t.Fatalf("seed version = %d, want 1", inv.Version())
+	}
+	if got := len(inv.Active()); got != 3 {
+		t.Fatalf("active = %d, want 3", got)
+	}
+
+	// Drain: active -> draining, version bump; idempotent retry is free.
+	if _, err := inv.Drain("node-1"); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	v := inv.Version()
+	if v != 2 {
+		t.Fatalf("version after drain = %d, want 2", v)
+	}
+	if _, err := inv.Drain("node-1"); err != nil {
+		t.Fatalf("idempotent Drain: %v", err)
+	}
+	if inv.Version() != v {
+		t.Fatalf("idempotent drain bumped version to %d", inv.Version())
+	}
+	if n, _ := inv.ByName("node-1"); n.State != NodeDraining {
+		t.Fatalf("state = %v, want draining", n.State)
+	}
+	if got := len(inv.Active()); got != 2 {
+		t.Fatalf("active after drain = %d, want 2", got)
+	}
+
+	// Fail: any non-failed state -> failed; draining a failed node errors.
+	if _, err := inv.Fail("node-1"); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	if _, err := inv.Drain("node-1"); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("Drain failed node = %v, want ErrBadNode", err)
+	}
+
+	// Remove deletes the entry; the ID is retired.
+	id, err := inv.Remove("node-1")
+	if err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if id != 1 {
+		t.Fatalf("removed ID = %d, want 1", id)
+	}
+	if _, ok := inv.Node(1); ok {
+		t.Fatal("removed node still resolves by ID")
+	}
+	if _, ok := inv.ByName("node-1"); ok {
+		t.Fatal("removed node still resolves by name")
+	}
+	if inv.Len() != 2 {
+		t.Fatalf("len = %d, want 2", inv.Len())
+	}
+
+	// Add assigns a fresh ID past every ID ever issued.
+	nid, err := inv.Add(Node{CPUMHz: 2000, MemMB: 1024})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if nid != 3 {
+		t.Fatalf("new ID = %d, want 3 (IDs never reused)", nid)
+	}
+	n, ok := inv.Node(nid)
+	if !ok || n.Name != "node-3" || n.State != NodeActive {
+		t.Fatalf("added node = %+v, want active node-3", n)
+	}
+	counts := inv.Counts()
+	if counts["active"] != 3 || counts["failed"] != 0 {
+		t.Fatalf("counts = %v, want 3 active", counts)
+	}
+}
+
+func TestInventoryValidation(t *testing.T) {
+	inv := mustInventory(t, 1)
+	if _, err := inv.Add(Node{CPUMHz: 0, MemMB: 100}); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("Add zero CPU = %v, want ErrBadNode", err)
+	}
+	if _, err := inv.Add(Node{Name: "node-0", CPUMHz: 100, MemMB: 100}); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("Add duplicate name = %v, want ErrBadNode", err)
+	}
+	for _, op := range []func() (NodeID, error){
+		func() (NodeID, error) { return inv.Drain("ghost") },
+		func() (NodeID, error) { return inv.Fail("ghost") },
+		func() (NodeID, error) { return inv.Remove("ghost") },
+	} {
+		if _, err := op(); !errors.Is(err, ErrUnknownInventoryNode) {
+			t.Fatalf("unknown node op = %v, want ErrUnknownInventoryNode", err)
+		}
+	}
+	if err := inv.FailID(99); !errors.Is(err, ErrUnknownInventoryNode) {
+		t.Fatalf("FailID unknown = %v, want ErrUnknownInventoryNode", err)
+	}
+	if err := inv.FailID(0); err != nil {
+		t.Fatalf("FailID: %v", err)
+	}
+	if n, _ := inv.Node(0); n.State != NodeFailed {
+		t.Fatalf("state after FailID = %v, want failed", n.State)
+	}
+}

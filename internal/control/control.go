@@ -108,6 +108,9 @@ type Runner struct {
 	actions  *metrics.Counter
 	failed   map[cluster.NodeID]bool
 	finishes map[*scheduler.Job]sim.Handle
+	// deferredErr holds the first error from a scheduled node-lifecycle
+	// event; Run surfaces it once the horizon is reached.
+	deferredErr error
 
 	// planner holds the dynamic-mode controller state (web apps and the
 	// placement carried between cycles). Nil in policy mode.
@@ -207,21 +210,29 @@ func (r *Runner) SubmitAll(specs []*batch.Spec) error {
 // disappears and jobs on it are suspended (progress preserved, as with
 // suspend-to-shared-storage virtualization).
 func (r *Runner) FailNode(at float64, node cluster.NodeID) error {
-	if _, ok := r.cfg.Cluster.Node(node); !ok {
-		return fmt.Errorf("%w: no node %d", ErrBadConfig, node)
+	if r.planner == nil {
+		// Policy mode has a static node set, so the ID is checkable now.
+		if _, ok := r.cfg.Cluster.Node(node); !ok {
+			return fmt.Errorf("%w: no node %d", ErrBadConfig, node)
+		}
 	}
 	_, err := r.sim.At(sim.Time(at), func(now sim.Time) {
+		if r.planner != nil {
+			// Dynamic mode resolves at fire time, so nodes scheduled to
+			// join earlier are failable; an ID unknown even then is a
+			// scenario bug, surfaced from Run.
+			if _, ok := r.planner.Inventory().Node(node); !ok {
+				r.noteDeferredErr(fmt.Errorf("%w: no node %d", ErrBadConfig, node))
+				return
+			}
+		}
 		r.failed[node] = true
 		for _, j := range r.jobs {
 			if j.Node == node && (j.Status == scheduler.Running || j.Status == scheduler.Paused) {
 				j.AdvanceTo(now.Seconds())
 				if j.Status != scheduler.Completed {
-					j.Suspends++
+					j.Evict()
 					r.actions.Inc(scheduler.ActionSuspend, 1)
-					j.LastNode = j.Node
-					j.Node = scheduler.NoNode
-					j.SpeedMHz = 0
-					j.Status = scheduler.Suspended
 					if h, ok := r.finishes[j]; ok {
 						r.sim.Cancel(h)
 						delete(r.finishes, j)
@@ -229,10 +240,58 @@ func (r *Runner) FailNode(at float64, node cluster.NodeID) error {
 				}
 			}
 		}
-		// Evict web instances placed there (dynamic mode).
+		// Mark the inventory and evict web instances placed there
+		// (dynamic mode).
 		if r.planner != nil {
 			r.planner.FailNode(node)
 		}
+	})
+	return err
+}
+
+// noteDeferredErr records the first error from a scheduled
+// node-lifecycle event (which cannot return errors itself) so Run can
+// surface it instead of the scenario silently running with a different
+// inventory than configured.
+func (r *Runner) noteDeferredErr(err error) {
+	if err != nil && r.deferredErr == nil {
+		r.deferredErr = err
+	}
+}
+
+// AddNode schedules a node joining the cluster at virtual time at: from
+// the next control cycle on, its capacity is offered to the placement
+// optimizer. Only the dynamic (integrated placement) mode replans
+// against a live inventory; policy mode keeps its static node set.
+// Capacity is validated eagerly; a duplicate name (knowable only when
+// the event fires) is reported as an error from Run.
+func (r *Runner) AddNode(at float64, n cluster.Node) error {
+	if r.planner == nil {
+		return fmt.Errorf("%w: AddNode requires dynamic mode", ErrBadConfig)
+	}
+	if n.CPUMHz <= 0 || n.MemMB <= 0 {
+		return fmt.Errorf("%w: node needs positive CPU and memory (got %v MHz, %v MB)",
+			ErrBadConfig, n.CPUMHz, n.MemMB)
+	}
+	_, err := r.sim.At(sim.Time(at), func(sim.Time) {
+		_, err := r.planner.AddNode(n)
+		r.noteDeferredErr(err)
+	})
+	return err
+}
+
+// DrainNode schedules a graceful node departure at virtual time at: the
+// node stops receiving placements and the controller live-migrates its
+// work off at the next cycle. Dynamic mode only, as with AddNode. The
+// node is resolved when the event fires — so a node scheduled to join
+// earlier via AddNode is drainable — and an unknown node at that instant
+// is reported as an error from Run.
+func (r *Runner) DrainNode(at float64, node cluster.NodeID) error {
+	if r.planner == nil {
+		return fmt.Errorf("%w: DrainNode requires dynamic mode", ErrBadConfig)
+	}
+	_, err := r.sim.At(sim.Time(at), func(sim.Time) {
+		r.noteDeferredErr(r.planner.DrainNode(node))
 	})
 	return err
 }
@@ -275,6 +334,9 @@ func (r *Runner) run(horizon float64, drain bool) error {
 		return err
 	}
 	r.sim.Run(sim.Time(horizon))
+	if tickErr == nil {
+		tickErr = r.deferredErr
+	}
 	return tickErr
 }
 
@@ -358,7 +420,9 @@ func (r *Runner) applyLoadSchedules(now float64) {
 			break
 		}
 		for _, ph := range phases {
-			if ph.Start <= now && ph.ArrivalRate > 0 {
+			// Rate 0 is a valid phase: it quiesces the app ("ramp to
+			// idle") without removing it. Negative rates are ignored.
+			if ph.Start <= now && ph.ArrivalRate >= 0 {
 				r.cfg.WebApps[i].ArrivalRate = ph.ArrivalRate
 			}
 		}

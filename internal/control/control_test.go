@@ -453,3 +453,100 @@ func TestWebLoadScheduleApplied(t *testing.T) {
 		t.Fatalf("load spike not reflected in utility: %v -> %v", before, after)
 	}
 }
+
+// TestRunnerAddNodeExpandsCapacity: capacity added mid-run is picked up
+// by the next control cycle and rescues a deadline that was otherwise
+// lost (the kill-and-recover half of the churn scenarios).
+func TestRunnerAddNodeExpandsCapacity(t *testing.T) {
+	run := func(addSpare bool) *Runner {
+		cl := mustCluster(t, 1, 1000, 4000)
+		r := mustRunner(t, Config{
+			Cluster: cl, CycleSeconds: 10,
+			Dynamic: &DynamicConfig{},
+			Costs:   cluster.FreeCostModel(),
+		})
+		// Two jobs, each needing the whole node flat out: one node can
+		// finish only one of them by the deadline.
+		if err := r.SubmitAll([]*batch.Spec{
+			batch.SingleStage("a", 90000, 1000, 1500, 0, 120),
+			batch.SingleStage("b", 90000, 1000, 1500, 0, 120),
+		}); err != nil {
+			t.Fatalf("SubmitAll: %v", err)
+		}
+		if addSpare {
+			if err := r.AddNode(20, cluster.Node{Name: "spare", CPUMHz: 1000, MemMB: 4000}); err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+		}
+		if err := r.RunUntilDrained(600); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return r
+	}
+	if rate := run(false).OnTimeRate(); rate > 0.5+1e-9 {
+		t.Fatalf("without the spare node on-time rate = %v, want ≤ 0.5", rate)
+	}
+	if rate := run(true).OnTimeRate(); rate != 1 {
+		t.Fatalf("with the spare node on-time rate = %v, want 1", rate)
+	}
+}
+
+// TestRunnerAddNodePolicyModeRejected: policy mode has no live
+// inventory; node arrival must be an explicit configuration error.
+func TestRunnerAddNodePolicyModeRejected(t *testing.T) {
+	cl := mustCluster(t, 1, 1000, 2000)
+	r := mustRunner(t, Config{Cluster: cl, CycleSeconds: 1, Policy: scheduler.FCFS{}})
+	if err := r.AddNode(1, cluster.Node{CPUMHz: 1000, MemMB: 2000}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("AddNode = %v, want ErrBadConfig", err)
+	}
+	if err := r.DrainNode(1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("DrainNode = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestRunnerDeferredInventoryErrors: scheduled node-lifecycle events
+// cannot return errors directly, so scenario bugs (duplicate name,
+// unknown node at fire time) must surface from Run instead of silently
+// running the experiment with a different inventory than configured.
+func TestRunnerDeferredInventoryErrors(t *testing.T) {
+	mk := func() *Runner {
+		cl := mustCluster(t, 1, 1000, 2000)
+		return mustRunner(t, Config{
+			Cluster: cl, CycleSeconds: 1,
+			Dynamic: &DynamicConfig{}, Costs: cluster.FreeCostModel(),
+		})
+	}
+	r := mk()
+	if err := r.AddNode(1, cluster.Node{Name: "node-0", CPUMHz: 1000, MemMB: 2000}); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := r.Run(5); !errors.Is(err, cluster.ErrBadNode) {
+		t.Fatalf("Run after duplicate-name AddNode = %v, want ErrBadNode", err)
+	}
+	// Invalid capacity is knowable at schedule time and rejected eagerly.
+	if err := mk().AddNode(1, cluster.Node{CPUMHz: 0, MemMB: 100}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("AddNode zero CPU = %v, want ErrBadConfig", err)
+	}
+	// Unknown node at fire time surfaces from Run too.
+	r = mk()
+	if err := r.FailNode(1, 7); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := r.Run(5); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Run after unknown FailNode = %v, want ErrBadConfig", err)
+	}
+	// A node scheduled to join earlier is drainable at a later time.
+	r = mk()
+	if err := r.AddNode(1, cluster.Node{Name: "spare", CPUMHz: 1000, MemMB: 2000}); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := r.DrainNode(3, 1); err != nil {
+		t.Fatalf("DrainNode of future node: %v", err)
+	}
+	if err := r.Run(10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n, ok := r.planner.Inventory().Node(1); !ok || n.State != cluster.NodeDraining {
+		t.Fatalf("spare state = %+v, want draining", n)
+	}
+}

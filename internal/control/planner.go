@@ -21,13 +21,16 @@ import (
 //
 // A Planner is not safe for concurrent use; drivers serialize access.
 type Planner struct {
-	cluster *cluster.Cluster
-	costs   cluster.CostModel
-	dyn     DynamicConfig
+	// inv is the live node inventory the planner replans against: every
+	// Plan call observes the inventory's current version, so nodes can
+	// join, drain, fail or leave between cycles and the next decision
+	// reflects it.
+	inv   *cluster.Inventory
+	costs cluster.CostModel
+	dyn   DynamicConfig
 
 	webApps      []*txn.App
 	webPlacement [][]cluster.NodeID
-	failed       map[cluster.NodeID]bool
 
 	// coord is the sharded placement coordinator, engaged when the
 	// configuration asks for at least one shard; nil means every cycle
@@ -47,10 +50,9 @@ func NewPlanner(cl *cluster.Cluster, costs cluster.CostModel, dyn DynamicConfig)
 		return nil, fmt.Errorf("%w: empty cluster", ErrBadConfig)
 	}
 	p := &Planner{
-		cluster: cl,
-		costs:   costs,
-		dyn:     dyn,
-		failed:  make(map[cluster.NodeID]bool),
+		inv:   cluster.NewInventory(cl),
+		costs: costs,
+		dyn:   dyn,
 	}
 	if dyn.Shards < 0 {
 		return nil, fmt.Errorf("%w: negative shard count %d", ErrBadConfig, dyn.Shards)
@@ -122,10 +124,12 @@ func (p *Planner) WebApp(name string) (*txn.App, bool) {
 }
 
 // SetArrivalRate updates the named application's request arrival rate λ —
-// the sensor input the controller reacts to at its next cycle. It reports
-// whether the app was registered.
+// the sensor input the controller reacts to at its next cycle. Rate 0 is
+// valid and quiesces the app: it keeps its registration but demands no
+// CPU until a later rate change revives it. Negative rates are rejected.
+// It reports whether the app was registered and the rate applied.
 func (p *Planner) SetArrivalRate(name string, rate float64) bool {
-	if rate <= 0 {
+	if rate < 0 {
 		return false
 	}
 	w, ok := p.WebApp(name)
@@ -136,10 +140,74 @@ func (p *Planner) SetArrivalRate(name string, rate float64) bool {
 	return true
 }
 
+// Inventory exposes the planner's live node registry. Mutating it (add,
+// drain, fail, remove) takes effect at the next Plan call. For node
+// failures prefer FailNode (or the driver's eager eviction, as the
+// daemon and runner do): failing a node directly through the inventory
+// leaves its jobs formally Running until the next Plan, so any progress
+// a driver advances them by in the meantime is credited as if the node
+// were still alive — Plan's rescue backstop can recover the placement,
+// but it cannot reconstruct the failure instant after the fact.
+func (p *Planner) Inventory() *cluster.Inventory { return p.inv }
+
+// AddNode registers a fresh active node; the next Plan call offers its
+// capacity to the optimizer.
+func (p *Planner) AddNode(n cluster.Node) (cluster.NodeID, error) {
+	return p.inv.Add(n)
+}
+
+// DrainNode marks a node as draining: from the next cycle on it receives
+// no new placements and the work it hosts is migrated off live (no
+// suspend, no lost progress). Existing placements are left in place so
+// they keep serving until the replan moves them.
+func (p *Planner) DrainNode(id cluster.NodeID) error {
+	n, ok := p.inv.Node(id)
+	if !ok {
+		return fmt.Errorf("%w: no node %d", ErrBadConfig, id)
+	}
+	_, err := p.inv.Drain(n.Name)
+	return err
+}
+
 // FailNode marks a node as dead: its capacity stops being offered to the
 // optimizer and web instances placed on it are evicted immediately.
+// Batch jobs stranded on it are rescued by the next Plan call (drivers
+// that track job state can evict them eagerly via scheduler.Job.Evict).
 func (p *Planner) FailNode(id cluster.NodeID) {
-	p.failed[id] = true
+	// A stale ID (node already removed) still evicts local placements.
+	_ = p.inv.FailID(id)
+	p.evictWeb(id)
+}
+
+// RemoveNode deregisters a node entirely. Web instances still placed on
+// it are evicted (callers should normally drain or fail the node first).
+func (p *Planner) RemoveNode(id cluster.NodeID) error {
+	n, ok := p.inv.Node(id)
+	if !ok {
+		return fmt.Errorf("%w: no node %d", ErrBadConfig, id)
+	}
+	if _, err := p.inv.Remove(n.Name); err != nil {
+		return err
+	}
+	p.evictWeb(id)
+	return nil
+}
+
+// WebInstancesOn counts the web-application instances currently placed
+// on the node — the occupancy signal drain/remove guards consult.
+func (p *Planner) WebInstancesOn(id cluster.NodeID) int {
+	count := 0
+	for _, nodes := range p.webPlacement {
+		for _, nd := range nodes {
+			if nd == id {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func (p *Planner) evictWeb(id cluster.NodeID) {
 	for i, nodes := range p.webPlacement {
 		keep := nodes[:0]
 		for _, nd := range nodes {
@@ -189,6 +257,10 @@ type Plan struct {
 	// Shards holds the per-zone solve stats when the sharded coordinator
 	// produced this plan; nil for a flat solve.
 	Shards []shard.Stats
+	// InventoryVersion is the node-inventory version this plan was
+	// computed against, so consumers can tell a decision made before a
+	// topology change from one made after it.
+	InventoryVersion int64
 }
 
 // BatchUtilityMean returns the mean predicted relative performance over
@@ -211,32 +283,64 @@ func (pl *Plan) BatchUtilityMean() (float64, bool) {
 // persisted inside the planner so the next cycle starts from it; applying
 // the returned batch assignments is the caller's responsibility.
 func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error) {
-	// Alive nodes, densely renumbered for the optimizer.
+	// Placeable nodes (active state), densely renumbered for the
+	// optimizer. Draining nodes are deliberately excluded: the replan
+	// places nothing new on them and live-migrates whatever they still
+	// host, which is exactly the graceful-drain contract.
+	version := p.inv.Version()
+	invNodes := p.inv.Nodes()
+	states := make(map[cluster.NodeID]cluster.NodeState, len(invNodes))
 	var defs []cluster.Node
 	var toOriginal []cluster.NodeID
 	toDense := make(map[cluster.NodeID]cluster.NodeID)
-	for _, n := range p.cluster.Nodes() {
-		if p.failed[n.ID] {
+	for _, n := range invNodes {
+		states[n.ID] = n.State
+		if n.State != cluster.NodeActive {
 			continue
 		}
 		toDense[n.ID] = cluster.NodeID(len(defs))
 		toOriginal = append(toOriginal, n.ID)
 		defs = append(defs, cluster.Node{Name: n.Name, CPUMHz: n.CPUMHz, MemMB: n.MemMB})
 	}
-	cl, err := cluster.New(defs...)
-	if err != nil {
-		return nil, err
+
+	// Rescue jobs stranded on vanished capacity before planning: a job
+	// whose node failed or was removed requeues as Suspended (progress
+	// intact, Evicted mark set) instead of keeping a dangling Node. Jobs
+	// on draining nodes are still genuinely running and are migrated
+	// live by the plan instead. This is a backstop — drivers that learn
+	// of a failure at a known instant should AdvanceTo and Evict the
+	// job then (see Inventory), because here the failure time is gone.
+	for _, j := range live {
+		if j.Node == scheduler.NoNode {
+			continue
+		}
+		if st, known := states[j.Node]; !known || st == cluster.NodeFailed {
+			j.Evict()
+		}
 	}
 
 	nWeb := len(p.webApps)
 	plan := &Plan{
-		Web:            make([][]WebInstance, nWeb),
-		WebAllocMHz:    make([]float64, nWeb),
-		WebUtilities:   make([]float64, nWeb),
-		BatchUtilities: make([]float64, len(live)),
+		Web:              make([][]WebInstance, nWeb),
+		WebAllocMHz:      make([]float64, nWeb),
+		WebUtilities:     make([]float64, nWeb),
+		BatchUtilities:   make([]float64, len(live)),
+		InventoryVersion: version,
 	}
 	if nWeb+len(live) == 0 {
 		return plan, nil
+	}
+	if len(defs) == 0 {
+		// Work exists but no node can take it: the cluster is
+		// (transiently) overcommitted to the extreme. Report it as the
+		// infeasibility it is so drivers surface a degraded state.
+		p.infeasibleCycles++
+		return nil, fmt.Errorf("%w: no active nodes in inventory (version %d)",
+			core.ErrInfeasible, version)
+	}
+	cl, err := cluster.New(defs...)
+	if err != nil {
+		return nil, err
 	}
 
 	apps := make([]*core.Application, 0, nWeb+len(live))

@@ -229,3 +229,255 @@ func TestPlannerShardCountValidation(t *testing.T) {
 		t.Fatalf("Shards -1: err = %v, want ErrBadConfig", err)
 	}
 }
+
+// TestPlannerRescuesJobsOnVanishedNodes: a job whose node failed between
+// cycles must requeue as Suspended (progress intact, Evicted set) at the
+// next Plan call and be reassigned to surviving capacity, rather than
+// keeping a dangling Node reference.
+func TestPlannerRescuesJobsOnVanishedNodes(t *testing.T) {
+	p := testPlanner(t)
+	spec := &batch.Spec{
+		Name:   "job",
+		Stages: []batch.Stage{{WorkMcycles: 1e6, MaxSpeedMHz: 2500, MemoryMB: 500}},
+		Submit: 0, DesiredStart: 0, Deadline: 1200,
+	}
+	job := scheduler.NewJob(spec)
+	live := []*scheduler.Job{job}
+	counter := metrics.NewCounter()
+
+	plan, err := p.Plan(0, 60, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduler.Apply(0, live, plan.Assignments, cluster.FreeCostModel(), counter)
+	if job.Status != scheduler.Running {
+		t.Fatalf("job not running after first cycle: %+v", job)
+	}
+	job.AdvanceTo(60)
+	doneBefore := job.Done
+	if doneBefore <= 0 {
+		t.Fatal("job made no progress before the failure")
+	}
+
+	// The node dies; only the inventory knows until the next Plan.
+	p.FailNode(job.Node)
+	failed := job.Node
+	plan2, err := p.Plan(60, 60, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != scheduler.Suspended || !job.Evicted || job.Node != scheduler.NoNode {
+		t.Fatalf("job not rescued-suspended by Plan: %+v", job)
+	}
+	if job.Done != doneBefore {
+		t.Fatalf("rescue lost progress: %v -> %v", doneBefore, job.Done)
+	}
+	if len(plan2.Assignments) != 1 || plan2.Assignments[0].Node == failed {
+		t.Fatalf("no rescue assignment off the failed node: %+v", plan2.Assignments)
+	}
+	scheduler.Apply(60, live, plan2.Assignments, cluster.FreeCostModel(), counter)
+	if job.Rescues != 1 || counter.Get(scheduler.ActionRescue) != 1 {
+		t.Fatalf("rescue not counted: job %+v, counter %d", job, counter.Get(scheduler.ActionRescue))
+	}
+	if plan2.InventoryVersion <= plan.InventoryVersion {
+		t.Fatalf("inventory version did not advance: %d -> %d",
+			plan.InventoryVersion, plan2.InventoryVersion)
+	}
+}
+
+// TestPlannerNoActiveNodesIsInfeasible: losing every node while work is
+// live must fail the cycle as core.ErrInfeasible (counted), not as a
+// generic malformed-problem error.
+func TestPlannerNoActiveNodesIsInfeasible(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("web", 5)); err != nil {
+		t.Fatal(err)
+	}
+	p.FailNode(0)
+	p.FailNode(1)
+	_, err := p.Plan(0, 60, nil)
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("Plan = %v, want core.ErrInfeasible", err)
+	}
+	if p.InfeasibleCycles() != 1 {
+		t.Fatalf("InfeasibleCycles = %d, want 1", p.InfeasibleCycles())
+	}
+	// Fresh capacity heals the next cycle.
+	if _, err := p.AddNode(cluster.Node{CPUMHz: 3000, MemMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(60, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Web[0]) == 0 {
+		t.Fatalf("web app unplaced on the replacement node: %+v", plan.Web)
+	}
+}
+
+// TestPlannerDrainMigratesWebOff: a draining node stops hosting at the
+// next plan without ever passing through an evicted/unplaced state.
+func TestPlannerDrainMigratesWebOff(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("web", 5)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Web[0]) == 0 {
+		t.Fatal("web app unplaced")
+	}
+	target := plan.Web[0][0].Node
+	if err := p.DrainNode(target); err != nil {
+		t.Fatal(err)
+	}
+	if p.WebInstancesOn(target) == 0 {
+		t.Fatal("drain evicted eagerly; instances should keep serving until the replan")
+	}
+	plan2, err := p.Plan(60, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Web[0]) == 0 || plan2.WebAllocMHz[0] <= 0 {
+		t.Fatalf("web app lost during drain: %+v", plan2)
+	}
+	for _, in := range plan2.Web[0] {
+		if in.Node == target {
+			t.Fatalf("instance still on draining node %d", target)
+		}
+	}
+	if p.WebInstancesOn(target) != 0 {
+		t.Fatal("draining node still occupied after replan")
+	}
+	if err := p.RemoveNode(target); err != nil {
+		t.Fatalf("RemoveNode after drain: %v", err)
+	}
+	if err := p.RemoveNode(target); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("double remove = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestPlannerQuiesceByRateZero: rate 0 through the planner entry point
+// releases the app's allocation without deregistering it, and a later
+// positive rate revives it.
+func TestPlannerQuiesceByRateZero(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("web", 20)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.WebAllocMHz[0] <= 0 {
+		t.Fatalf("active app got no CPU: %+v", plan)
+	}
+	if !p.SetArrivalRate("web", 0) {
+		t.Fatal("SetArrivalRate(0) rejected")
+	}
+	plan2, err := p.Plan(60, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.WebAllocMHz[0] != 0 {
+		t.Fatalf("quiesced app still allocated %v MHz", plan2.WebAllocMHz[0])
+	}
+	if plan2.WebUtilities[0] <= 0 {
+		t.Fatalf("quiesced app utility = %v, want its cap (idle is not failure)", plan2.WebUtilities[0])
+	}
+	if !p.SetArrivalRate("web", 20) {
+		t.Fatal("revival rejected")
+	}
+	plan3, err := p.Plan(120, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan3.WebAllocMHz[0] <= 0 {
+		t.Fatalf("revived app got no CPU: %+v", plan3)
+	}
+}
+
+// TestPlannerSingleShardIdenticalUnderChurn pins the sharding contract
+// on a mutated inventory: a planner running the one-zone coordinator
+// must produce bit-identical plans to a flat planner through a node
+// failure and a node arrival.
+func TestPlannerSingleShardIdenticalUnderChurn(t *testing.T) {
+	mk := func(shards int) *Planner {
+		cl, err := cluster.Uniform(4, 3000, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddWebApp(testApp("web", 8)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mkJobs := func() []*scheduler.Job {
+		var out []*scheduler.Job
+		for i := 0; i < 3; i++ {
+			out = append(out, scheduler.NewJob(&batch.Spec{
+				Name:   jobName(i),
+				Stages: []batch.Stage{{WorkMcycles: 3e6, MaxSpeedMHz: 2500, MemoryMB: 900}},
+				Submit: 0, DesiredStart: 0, Deadline: 7200,
+			}))
+		}
+		return out
+	}
+	sharded, flat := mk(1), mk(0)
+	liveA, liveB := mkJobs(), mkJobs()
+	counter := metrics.NewCounter()
+
+	compare := func(now float64, step string) {
+		planA, errA := sharded.Plan(now, 60, liveA)
+		planB, errB := flat.Plan(now, 60, liveB)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: plan errors %v / %v", step, errA, errB)
+		}
+		if len(planA.Assignments) != len(planB.Assignments) {
+			t.Fatalf("%s: %d vs %d assignments", step, len(planA.Assignments), len(planB.Assignments))
+		}
+		for k := range planA.Assignments {
+			a, b := planA.Assignments[k], planB.Assignments[k]
+			if a.Node != b.Node || a.SpeedMHz != b.SpeedMHz {
+				t.Fatalf("%s: assignment %d diverged: %+v vs %+v", step, k, a, b)
+			}
+		}
+		for i := range planA.Web {
+			if len(planA.Web[i]) != len(planB.Web[i]) {
+				t.Fatalf("%s: web %d instance counts diverged", step, i)
+			}
+			for k := range planA.Web[i] {
+				if planA.Web[i][k] != planB.Web[i][k] {
+					t.Fatalf("%s: web instance diverged: %+v vs %+v",
+						step, planA.Web[i][k], planB.Web[i][k])
+				}
+			}
+		}
+		scheduler.Apply(now, liveA, planA.Assignments, cluster.FreeCostModel(), counter)
+		scheduler.Apply(now, liveB, planB.Assignments, cluster.FreeCostModel(), counter)
+		for _, jobs := range [][]*scheduler.Job{liveA, liveB} {
+			for _, j := range jobs {
+				j.AdvanceTo(now + 60)
+			}
+		}
+	}
+
+	compare(0, "steady")
+	compare(60, "steady2")
+	sharded.FailNode(1)
+	flat.FailNode(1)
+	compare(120, "after failure")
+	if _, err := sharded.AddNode(cluster.Node{Name: "spare", CPUMHz: 3000, MemMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.AddNode(cluster.Node{Name: "spare", CPUMHz: 3000, MemMB: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	compare(180, "after recovery")
+}

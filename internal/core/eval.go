@@ -101,7 +101,13 @@ func evaluateWith(p *Problem, pl *Placement, al *allocator) (*Evaluation, error)
 			continue
 		}
 		if !pl.Placed(idx) {
-			ev.Utilities[idx] = rpf.MinUtility
+			if a.Web.Quiesced() {
+				// A zero-rate app needs nothing; leaving it unplaced is
+				// not a failure and must not drag the max-min objective.
+				ev.Utilities[idx] = a.Web.UtilityCap()
+			} else {
+				ev.Utilities[idx] = rpf.MinUtility
+			}
 			continue
 		}
 		ev.Utilities[idx] = a.Web.Utility(perApp[idx])

@@ -7,13 +7,14 @@ import (
 	"net/http"
 
 	"dynplace"
+	"dynplace/internal/cluster"
 	"dynplace/internal/control"
 	"dynplace/internal/router"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET    /healthz            liveness and cycle progress
+//	GET    /healthz            liveness, cycle progress, truthful status
 //	GET    /placement          the latest placement snapshot
 //	GET    /metrics            counters, router stats, cycle history
 //	GET    /apps               registered web application names
@@ -23,6 +24,11 @@ import (
 //	POST   /route/{name}       dispatch one request through the router
 //	GET    /jobs               job outcomes so far
 //	POST   /jobs               submit a batch job
+//	GET    /nodes              inventory nodes with lifecycle states
+//	POST   /nodes              add a node to the inventory
+//	POST   /nodes/{name}/drain start a graceful node departure
+//	POST   /nodes/{name}/fail  record an abrupt node loss
+//	DELETE /nodes/{name}       remove an empty (drained/failed) node
 //
 // Bodies and responses are JSON; workload specs use the library's public
 // spec types (dynplace.WebAppSpec, dynplace.JobSpec).
@@ -38,6 +44,11 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /route/{name}", d.handleRoute)
 	mux.HandleFunc("GET /jobs", d.handleJobs)
 	mux.HandleFunc("POST /jobs", d.handleSubmitJob)
+	mux.HandleFunc("GET /nodes", d.handleListNodes)
+	mux.HandleFunc("POST /nodes", d.handleAddNode)
+	mux.HandleFunc("POST /nodes/{name}/drain", d.handleDrainNode)
+	mux.HandleFunc("POST /nodes/{name}/fail", d.handleFailNode)
+	mux.HandleFunc("DELETE /nodes/{name}", d.handleRemoveNode)
 	return mux
 }
 
@@ -55,9 +66,18 @@ type SubmitJobRequest struct {
 	Relative bool             `json:"relative,omitempty"`
 }
 
-// SetLoadRequest is the POST /apps/{name}/load body.
+// SetLoadRequest is the POST /apps/{name}/load body. Rate 0 quiesces
+// the application without deregistering it.
 type SetLoadRequest struct {
 	ArrivalRate float64 `json:"arrivalRate"`
+}
+
+// AddNodeRequest is the POST /nodes body. An empty name is assigned
+// automatically ("node-<id>").
+type AddNodeRequest struct {
+	Name   string  `json:"name,omitempty"`
+	CPUMHz float64 `json:"cpuMHz"`
+	MemMB  float64 `json:"memMB"`
 }
 
 // RouteResponse is the POST /route/{name} body on success.
@@ -183,14 +203,58 @@ func (d *Daemon) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"submitted": req.Job.Name})
 }
 
+func (d *Daemon) handleListNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]NodeView{"nodes": d.NodeViews()})
+}
+
+func (d *Daemon) handleAddNode(w http.ResponseWriter, r *http.Request) {
+	var req AddNodeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	name, err := d.AddNode(req.Name, req.CPUMHz, req.MemMB)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"added": name})
+}
+
+func (d *Daemon) handleDrainNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.DrainNode(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"draining": name})
+}
+
+func (d *Daemon) handleFailNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.FailNode(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"failed": name})
+}
+
+func (d *Daemon) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.RemoveNode(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
 // statusFor maps domain errors onto HTTP statuses: bad specs and bad
 // requests are the client's fault; anything else is ours.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, cluster.ErrUnknownInventoryNode):
 		return http.StatusNotFound
 	case errors.Is(err, dynplace.ErrBadSpec), errors.Is(err, ErrDaemon),
-		errors.Is(err, control.ErrBadConfig):
+		errors.Is(err, control.ErrBadConfig), errors.Is(err, cluster.ErrBadNode):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

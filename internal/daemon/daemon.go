@@ -86,6 +86,11 @@ type Daemon struct {
 	running       bool
 	runGen        int
 	cancelTick    func() bool
+	// infeasibleStreak counts consecutive cycles whose planning failed
+	// with core.ErrInfeasible; it resets to zero when a cycle succeeds
+	// and is published on every snapshot so /healthz can report a
+	// degraded state truthfully.
+	infeasibleStreak int
 
 	// cycles and placement are written under mu but read lock-free so
 	// /healthz and /placement never wait out an optimization pass.
@@ -135,8 +140,10 @@ func New(cfg Config) (*Daemon, error) {
 		history:       metrics.NewRing[CycleSnapshot](cfg.History),
 	}
 	d.placement.Store(&PlacementSnapshot{
-		Web:  []WebPlacementView{},
-		Jobs: []JobPlacementView{},
+		Web:              []WebPlacementView{},
+		Jobs:             []JobPlacementView{},
+		Nodes:            d.nodeViews(nil, nil),
+		InventoryVersion: planner.Inventory().Version(),
 	})
 	return d, nil
 }
@@ -195,6 +202,13 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 	}
 	now := d.clock.Now()
 	phases := append([]dynplace.LoadPhase(nil), spec.LoadSchedule...)
+	for _, ph := range phases {
+		// Rate 0 is a valid ramp-to-idle phase; only negative rates are
+		// meaningless.
+		if ph.ArrivalRate < 0 {
+			return fmt.Errorf("%w: load phase arrival rate must be nonnegative", ErrDaemon)
+		}
+	}
 	if relative {
 		for i := range phases {
 			phases[i].Start += now
@@ -233,8 +247,10 @@ func (d *Daemon) RemoveWebApp(name string) error {
 func (d *Daemon) SetArrivalRate(name string, rate float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if rate <= 0 {
-		return fmt.Errorf("%w: arrival rate must be positive", ErrDaemon)
+	// Rate 0 is valid: it quiesces the app ("no demand") without
+	// deregistering it, releasing its allocation at the next cycle.
+	if rate < 0 {
+		return fmt.Errorf("%w: arrival rate must be nonnegative", ErrDaemon)
 	}
 	if !d.planner.SetArrivalRate(name, rate) {
 		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
@@ -288,6 +304,7 @@ func jobResult(j *scheduler.Job) dynplace.JobResult {
 		Suspends:   j.Suspends,
 		Resumes:    j.Resumes,
 		Migrations: j.Migrations,
+		Rescues:    j.Rescues,
 	}
 	if r.Completed {
 		r.CompletedAt = j.CompletedAt
@@ -302,16 +319,195 @@ func jobResult(j *scheduler.Job) dynplace.JobResult {
 // lock-free state (the last published snapshot), so probes answer
 // immediately even while an optimization pass holds the daemon lock;
 // the workload counts are as of the last completed cycle.
+//
+// The status is truthful about the control loop: "degraded" while an
+// infeasible streak is active (the cluster cannot host the registered
+// workload), "failing" when the most recent cycle errored for any other
+// reason, "ok" otherwise. LastError carries the failing cycle's error.
 func (d *Daemon) Health() HealthView {
 	snap := d.placement.Load()
-	return HealthView{
-		Status:       "ok",
-		Now:          d.clock.Now(),
-		CycleSeconds: d.cfg.CycleSeconds,
-		Cycles:       d.cycles.Load(),
-		WebApps:      len(snap.Web),
-		LiveJobs:     len(snap.Jobs),
+	status := "ok"
+	switch {
+	case snap.Infeasible:
+		status = "degraded"
+	case snap.Err != "":
+		status = "failing"
 	}
+	active := countActive(snap.Nodes)
+	return HealthView{
+		Status:           status,
+		LastError:        snap.Err,
+		Now:              d.clock.Now(),
+		CycleSeconds:     d.cfg.CycleSeconds,
+		Cycles:           d.cycles.Load(),
+		WebApps:          len(snap.Web),
+		LiveJobs:         len(snap.Jobs),
+		ActiveNodes:      active,
+		InfeasibleStreak: snap.InfeasibleStreak,
+	}
+}
+
+// AddNode registers a fresh node with the live inventory; the next
+// control cycle offers its capacity to the placement optimizer. An empty
+// name is assigned automatically; the chosen name is returned.
+func (d *Daemon) AddNode(name string, cpuMHz, memMB float64) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, err := d.planner.AddNode(cluster.Node{Name: name, CPUMHz: cpuMHz, MemMB: memMB})
+	if err != nil {
+		return "", err
+	}
+	n, _ := d.planner.Inventory().Node(id)
+	d.cfg.Logf("node %s joined: %.0f MHz, %.0f MB (inventory v%d)",
+		n.Name, cpuMHz, memMB, d.planner.Inventory().Version())
+	return n.Name, nil
+}
+
+// DrainNode begins a graceful departure: the node stops receiving
+// placements and the next cycle live-migrates its work off. Once its
+// placement shows zero web instances and jobs it can be removed.
+func (d *Daemon) DrainNode(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inv := d.planner.Inventory()
+	if _, ok := inv.ByName(name); !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
+	}
+	if _, err := inv.Drain(name); err != nil {
+		return err
+	}
+	d.cfg.Logf("node %s draining (inventory v%d)", name, inv.Version())
+	return nil
+}
+
+// FailNode records an abrupt node loss: its capacity disappears, web
+// instances on it are evicted, jobs on it are suspended with progress
+// intact and marked for rescue, and its dispatch weights are withdrawn
+// immediately — the next cycle re-places everything on surviving nodes.
+func (d *Daemon) FailNode(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inv := d.planner.Inventory()
+	n, ok := inv.ByName(name)
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
+	}
+	d.planner.FailNode(n.ID)
+	now := d.clock.Now()
+	evicted := 0
+	for _, j := range d.jobs {
+		if j.Node != n.ID {
+			continue
+		}
+		if j.Spec.Submit <= now {
+			j.AdvanceTo(now)
+		}
+		if j.Status == scheduler.Completed {
+			continue
+		}
+		j.Evict()
+		evicted++
+	}
+	if evicted > 0 {
+		d.actions.Inc(scheduler.ActionSuspend, evicted)
+	}
+	// Withdraw the dead node from live dispatch weights right away; the
+	// next cycle republishes the re-placed instances.
+	for _, app := range d.router.Apps() {
+		ins, ok := d.router.Instances(app)
+		if !ok {
+			continue
+		}
+		keep := make([]router.Instance, 0, len(ins))
+		for _, in := range ins {
+			if in.Node != name {
+				keep = append(keep, in)
+			}
+		}
+		if len(keep) != len(ins) {
+			d.router.Update(app, keep)
+		}
+	}
+	d.cfg.Logf("node %s failed: %d jobs awaiting rescue (inventory v%d)",
+		name, evicted, inv.Version())
+	return nil
+}
+
+// RemoveNode deregisters a node entirely. Nodes still hosting work are
+// refused — drain (graceful) or fail (abrupt) them first.
+func (d *Daemon) RemoveNode(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inv := d.planner.Inventory()
+	n, ok := inv.ByName(name)
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
+	}
+	if count := d.planner.WebInstancesOn(n.ID); count > 0 {
+		return fmt.Errorf("%w: node %q still hosts %d web instances; drain or fail it first",
+			ErrDaemon, name, count)
+	}
+	for _, j := range d.jobs {
+		if j.Node == n.ID {
+			return fmt.Errorf("%w: node %q still hosts job %q; drain or fail it first",
+				ErrDaemon, name, j.Spec.Name)
+		}
+	}
+	if err := d.planner.RemoveNode(n.ID); err != nil {
+		return err
+	}
+	d.cfg.Logf("node %s removed (inventory v%d)", name, inv.Version())
+	return nil
+}
+
+// NodeViews lists every inventory node with its current lifecycle state
+// and the occupancy of the last published placement.
+func (d *Daemon) NodeViews() []NodeView {
+	snap := d.placement.Load()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nodeViews(snap.Web, snap.Jobs)
+}
+
+// countActive returns how many of the views' nodes offer capacity.
+func countActive(nodes []NodeView) int {
+	active := 0
+	for _, n := range nodes {
+		if n.State == cluster.NodeActive.String() {
+			active++
+		}
+	}
+	return active
+}
+
+// nodeViews builds the per-node views from the current inventory and the
+// given placement occupancy. Callers hold d.mu.
+func (d *Daemon) nodeViews(web []WebPlacementView, jobs []JobPlacementView) []NodeView {
+	webOn := make(map[string]int)
+	for _, w := range web {
+		for _, in := range w.Instances {
+			webOn[in.Node]++
+		}
+	}
+	jobsOn := make(map[string]int)
+	for _, j := range jobs {
+		if j.Node != "" && j.Status != scheduler.Completed.String() {
+			jobsOn[j.Node]++
+		}
+	}
+	nodes := d.planner.Inventory().Nodes()
+	out := make([]NodeView, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, NodeView{
+			Name:         n.Name,
+			State:        n.State.String(),
+			CPUMHz:       n.CPUMHz,
+			MemMB:        n.MemMB,
+			WebInstances: webOn[n.Name],
+			Jobs:         jobsOn[n.Name],
+		})
+	}
+	return out
 }
 
 // Metrics assembles the observability view for the metrics endpoint.
@@ -330,6 +526,8 @@ func (d *Daemon) Metrics() MetricsView {
 		Router:           d.router.Snapshot(),
 		History:          d.history.Snapshot(),
 		Shards:           d.planner.ShardStats(),
+		InventoryVersion: d.planner.Inventory().Version(),
+		NodeStates:       d.planner.Inventory().Counts(),
 	}
 }
 
@@ -388,7 +586,9 @@ func (d *Daemon) applyLoadSchedules(now float64) {
 				future = append(future, ph)
 				continue
 			}
-			if ph.ArrivalRate > 0 {
+			// Rate 0 quiesces the app rather than being skipped — a
+			// scheduled ramp-to-idle must actually take effect.
+			if ph.ArrivalRate >= 0 {
 				d.planner.SetArrivalRate(name, ph.ArrivalRate)
 			}
 		}
@@ -443,27 +643,58 @@ func (d *Daemon) runCycle(now float64) {
 	plan, err := d.planner.Plan(now, d.cfg.CycleSeconds, live)
 	cycle := d.cycles.Add(1)
 	if err != nil {
+		// Publish a snapshot that carries the failure rather than
+		// leaving the previous one up with a stale cycle number: the
+		// workload views keep the last successfully planned state (which
+		// is what remains deployed), while Err/Infeasible make
+		// /placement, /healthz and the cycle history agree the cycle
+		// failed.
+		infeasible := errors.Is(err, core.ErrInfeasible)
+		if infeasible {
+			d.infeasibleStreak++
+		} else {
+			d.infeasibleStreak = 0
+		}
+		prev := d.placement.Load()
+		nodes := d.nodeViews(prev.Web, prev.Jobs)
+		active := countActive(nodes)
+		d.placement.Store(&PlacementSnapshot{
+			Cycle:            cycle,
+			Time:             now,
+			Web:              prev.Web,
+			Jobs:             prev.Jobs,
+			Nodes:            nodes,
+			OmegaGMHz:        prev.OmegaGMHz,
+			Shards:           prev.Shards,
+			InventoryVersion: d.planner.Inventory().Version(),
+			Err:              err.Error(),
+			Infeasible:       infeasible,
+			InfeasibleStreak: d.infeasibleStreak,
+		})
 		d.cfg.Logf("cycle %d t=%.1f: plan failed: %v", cycle, now, err)
 		d.history.Push(CycleSnapshot{
 			Cycle: cycle, Time: now, LiveJobs: len(live), Err: err.Error(),
-			Infeasible: errors.Is(err, core.ErrInfeasible),
+			Infeasible:  infeasible,
+			ActiveNodes: active,
 		})
 		return
 	}
+	d.infeasibleStreak = 0
 
 	changed := scheduler.Apply(now, live, plan.Assignments, d.cfg.Costs, d.actions)
 
 	// Republish dispatch weights, then swap the public snapshot.
 	webApps := d.planner.WebApps()
 	snap := &PlacementSnapshot{
-		Cycle:           cycle,
-		Time:            now,
-		Web:             make([]WebPlacementView, 0, len(webApps)),
-		Jobs:            make([]JobPlacementView, 0, len(live)),
-		OmegaGMHz:       plan.OmegaG,
-		Changes:         changed,
-		InstanceChanges: plan.Changes,
-		Shards:          plan.Shards,
+		Cycle:            cycle,
+		Time:             now,
+		Web:              make([]WebPlacementView, 0, len(webApps)),
+		Jobs:             make([]JobPlacementView, 0, len(live)),
+		OmegaGMHz:        plan.OmegaG,
+		Changes:          changed,
+		InstanceChanges:  plan.Changes,
+		Shards:           plan.Shards,
+		InventoryVersion: plan.InventoryVersion,
 	}
 	webUtil := make(map[string]float64, len(webApps))
 	for i, w := range webApps {
@@ -509,6 +740,8 @@ func (d *Daemon) runCycle(now float64) {
 		}
 		snap.Jobs = append(snap.Jobs, view)
 	}
+	snap.Nodes = d.nodeViews(snap.Web, snap.Jobs)
+	active := countActive(snap.Nodes)
 	d.placement.Store(snap)
 
 	batchUtil, _ := plan.BatchUtilityMean()
@@ -522,6 +755,7 @@ func (d *Daemon) runCycle(now float64) {
 		WebUtilities:        webUtil,
 		LiveJobs:            len(live),
 		QueuedJobs:          queued,
+		ActiveNodes:         active,
 		ShardImbalance:      imbalance,
 		MaxShardUtilization: maxUtil,
 	})
@@ -530,7 +764,7 @@ func (d *Daemon) runCycle(now float64) {
 }
 
 func (d *Daemon) nodeName(id cluster.NodeID) string {
-	n, ok := d.cfg.Cluster.Node(id)
+	n, ok := d.planner.Inventory().Node(id)
 	if !ok {
 		return fmt.Sprintf("node-%d", id)
 	}

@@ -33,16 +33,46 @@ type JobPlacementView struct {
 	Deadline     float64 `json:"deadline"`
 }
 
+// NodeView is one inventory node's slice of a placement: its lifecycle
+// state and how much work it currently hosts.
+type NodeView struct {
+	Name   string  `json:"name"`
+	State  string  `json:"state"`
+	CPUMHz float64 `json:"cpuMHz"`
+	MemMB  float64 `json:"memMB"`
+	// WebInstances and Jobs count the workloads placed on the node as of
+	// the snapshot's cycle; a draining node is safe to remove once both
+	// reach zero.
+	WebInstances int `json:"webInstances"`
+	Jobs         int `json:"jobs"`
+}
+
 // PlacementSnapshot is the full outcome of one control cycle: what runs
 // where, at what speed, and how well every workload is predicted to meet
 // its goal. The daemon swaps a fresh snapshot in atomically each cycle;
 // GET /placement serves it without touching the control loop's locks.
+//
+// A cycle whose planning failed publishes a snapshot too: the cycle
+// number advances, Err carries the failure, and Web/Jobs keep the last
+// successfully planned state (which is what is still deployed), so
+// /placement, /healthz and the cycle history always agree about the
+// failure instead of silently serving a stale-but-clean view.
 type PlacementSnapshot struct {
 	Cycle     int64              `json:"cycle"`
 	Time      float64            `json:"time"`
 	Web       []WebPlacementView `json:"web"`
 	Jobs      []JobPlacementView `json:"jobs"`
+	Nodes     []NodeView         `json:"nodes"`
 	OmegaGMHz float64            `json:"omegaGMHz"`
+	// InventoryVersion is the node-inventory version the cycle planned
+	// against.
+	InventoryVersion int64 `json:"inventoryVersion"`
+	// Err is set when this cycle's planning failed; Infeasible marks the
+	// no-feasible-placement case and InfeasibleStreak counts consecutive
+	// infeasible cycles (0 once a cycle succeeds).
+	Err              string `json:"err,omitempty"`
+	Infeasible       bool   `json:"infeasible,omitempty"`
+	InfeasibleStreak int    `json:"infeasibleStreak,omitempty"`
 	// Changes counts the disruptive batch placement actions this cycle
 	// (suspends, resumes, migrations — the paper's Figure 4 metric);
 	// InstanceChanges counts instance-level differences the optimizer
@@ -65,7 +95,11 @@ type CycleSnapshot struct {
 	WebUtilities map[string]float64 `json:"webUtilities,omitempty"`
 	LiveJobs     int                `json:"liveJobs"`
 	QueuedJobs   int                `json:"queuedJobs"`
-	Err          string             `json:"err,omitempty"`
+	// ActiveNodes is the number of inventory nodes offering capacity
+	// this cycle — the churn trajectory in one gauge. Deliberately not
+	// omitempty: 0 active nodes is the value operators most need to see.
+	ActiveNodes int    `json:"activeNodes"`
+	Err         string `json:"err,omitempty"`
 	// Infeasible marks a cycle whose plan failed because no feasible
 	// placement exists (the cluster is overcommitted), as opposed to a
 	// malformed problem. See core.ErrInfeasible.
@@ -77,14 +111,24 @@ type CycleSnapshot struct {
 	MaxShardUtilization float64 `json:"maxShardUtilization,omitempty"`
 }
 
-// HealthView is the GET /healthz body.
+// HealthView is the GET /healthz body. Status is truthful about the
+// control loop: "ok" while cycles plan successfully, "degraded" while an
+// infeasible streak is active (the cluster cannot host the workload),
+// and "failing" when the most recent cycle errored for any other
+// reason. LastError carries the most recent cycle's error verbatim.
 type HealthView struct {
 	Status       string  `json:"status"`
+	LastError    string  `json:"lastError,omitempty"`
 	Now          float64 `json:"now"`
 	CycleSeconds float64 `json:"cycleSeconds"`
 	Cycles       int64   `json:"cycles"`
 	WebApps      int     `json:"webApps"`
 	LiveJobs     int     `json:"liveJobs"`
+	// ActiveNodes counts inventory nodes offering capacity;
+	// InfeasibleStreak counts consecutive infeasible cycles (0 when
+	// healthy).
+	ActiveNodes      int `json:"activeNodes"`
+	InfeasibleStreak int `json:"infeasibleStreak,omitempty"`
 }
 
 // MetricsView is the GET /metrics body: lifetime action counters, the
@@ -99,6 +143,11 @@ type MetricsView struct {
 	InfeasibleCycles int                     `json:"infeasibleCycles"`
 	Router           map[string]router.Stats `json:"router"`
 	History          []CycleSnapshot         `json:"history"`
+	// InventoryVersion is the current node-inventory version and
+	// NodeStates the node count per lifecycle state (active, draining,
+	// failed) — the churn view operators alarm on.
+	InventoryVersion int64          `json:"inventoryVersion"`
+	NodeStates       map[string]int `json:"nodeStates"`
 	// Shards is the latest cycle's per-zone stats when the daemon runs
 	// the sharded coordinator; absent in flat mode.
 	Shards []shard.Stats `json:"shards,omitempty"`

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteBenchJSON writes v as indented JSON to dir/BENCH_<name>.json —
+// the machine-readable companion of the printed sweep tables. CI's
+// bench-smoke job sets BENCH_JSON_DIR and uploads the BENCH_*.json
+// files as artifacts, so the performance trajectory across PRs can be
+// assembled from structured rows instead of scraped tables.
+func WriteBenchJSON(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal %s: %w", name, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}

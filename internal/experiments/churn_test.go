@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChurnSweepSmall runs a reduced kill-and-recover scenario and
+// checks the invariants the sweep exists to measure: the failure is
+// visible (rescues happen, web utility dips), nothing is abandoned
+// (zero lost jobs), and the web utility recovers by the horizon.
+func TestChurnSweepSmall(t *testing.T) {
+	opts := DefaultChurnSweepOptions()
+	opts.FailCounts = []int{2}
+	opts.Horizon = 3000
+	opts.RecoverAt = 1200
+
+	rows, err := RunChurnSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Rescues < 1 {
+		t.Errorf("rescues = %d, want ≥ 1 (jobs on the dead nodes must be rescued)", r.Rescues)
+	}
+	if r.LostJobs != 0 {
+		t.Errorf("lost jobs = %d, want 0 (rescue, not abandonment)", r.LostJobs)
+	}
+	if r.BaselineWebUtility <= 0 {
+		t.Errorf("baseline web utility = %v, want positive", r.BaselineWebUtility)
+	}
+	if r.DipWebUtility >= r.BaselineWebUtility {
+		t.Errorf("no web utility dip through a 2-node failure: baseline %v, dip %v",
+			r.BaselineWebUtility, r.DipWebUtility)
+	}
+	if r.FinalWebUtility < r.BaselineWebUtility-dipTolerance {
+		t.Errorf("web utility did not recover: baseline %v, final %v",
+			r.BaselineWebUtility, r.FinalWebUtility)
+	}
+	if r.DipCycles <= 0 {
+		t.Errorf("dip cycles = %d, want positive", r.DipCycles)
+	}
+
+	table := ChurnSweepTable(rows)
+	if !strings.Contains(table, "failed") || !strings.Contains(table, "rescues") {
+		t.Errorf("table lacks headers:\n%s", table)
+	}
+}
+
+func TestChurnSweepValidation(t *testing.T) {
+	opts := DefaultChurnSweepOptions()
+	opts.FailCounts = []int{opts.Nodes}
+	if _, err := RunChurnSweep(opts); err == nil {
+		t.Fatal("fail count == cluster size accepted")
+	}
+}
+
+// TestWriteBenchJSON checks the artifact writer round-trips the rows.
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	rows := []ChurnSweepRow{{Nodes: 4, FailedNodes: 1, Rescues: 2, OnTimeRate: 0.875}}
+	if err := WriteBenchJSON(dir, "churn_sweep", rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_churn_sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ChurnSweepRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Fatalf("round-trip = %+v, want %+v", back, rows)
+	}
+}

@@ -10,10 +10,14 @@
 //
 // The scale extensions: RunScaleSweep times the flat placement solver
 // at 500-2000 nodes with sequential vs parallel candidate evaluation,
-// and RunShardSweep measures the sharded coordinator (internal/shard)
+// RunShardSweep measures the sharded coordinator (internal/shard)
 // against the flat solver at 2000-10000 nodes, verifying the merged
-// placements against the global capacity constraints. Both print
-// fixed-width tables that CI uploads as artifacts on every run.
+// placements against the global capacity constraints, and RunChurnSweep
+// measures failure recovery — the web utility dip, job rescues and
+// deadline misses through an abrupt node loss followed by replacement
+// capacity. All print fixed-width tables that CI uploads as artifacts
+// on every run, alongside machine-readable BENCH_*.json rows
+// (WriteBenchJSON).
 package experiments
 
 import (

@@ -72,9 +72,16 @@ type Job struct {
 	// BlockedUntil delays progress while a placement action (boot,
 	// resume, migration) is in flight.
 	BlockedUntil float64
+	// Evicted marks a job thrown off its node involuntarily (node
+	// failure or removal). It stays set until the job is re-placed, at
+	// which point the move is accounted as a rescue rather than a
+	// voluntary placement change.
+	Evicted bool
 
-	// Action counters (the paper's Figure 4 accounting).
-	Starts, Suspends, Resumes, Migrations int
+	// Action counters (the paper's Figure 4 accounting). Rescues counts
+	// involuntary re-placements after an eviction; those moves are kept
+	// out of the voluntary placement-change metric the paper plots.
+	Starts, Suspends, Resumes, Migrations, Rescues int
 
 	lastAdvance float64
 }
@@ -92,6 +99,24 @@ func NewJob(spec *batch.Spec) *Job {
 
 // Remaining returns the outstanding work in megacycles.
 func (j *Job) Remaining() float64 { return j.Spec.Remaining(j.Done) }
+
+// Evict removes the job from a node that vanished underneath it (failure
+// or removal): progress is preserved — as with suspend-to-shared-storage
+// virtualization — and the job requeues as Suspended with the Evicted
+// mark, so its eventual re-placement is counted as a rescue. Callers
+// must AdvanceTo the eviction instant first so no progress is credited
+// for time after the node died.
+func (j *Job) Evict() {
+	if j.Status != Running && j.Status != Paused {
+		return
+	}
+	j.Suspends++
+	j.LastNode = j.Node
+	j.Node = NoNode
+	j.SpeedMHz = 0
+	j.Status = Suspended
+	j.Evicted = true
+}
 
 // AdvanceTo progresses the job to virtual time now at its current speed,
 // honoring the action-cost block and per-stage speed caps. If the job
@@ -180,6 +205,10 @@ const (
 	ActionSuspend = "suspend"
 	ActionResume  = "resume"
 	ActionMigrate = "migrate"
+	// ActionRescue counts involuntary re-placements of evicted jobs, so
+	// failure recovery is never conflated with the voluntary placement
+	// changes of the paper's Figure 4.
+	ActionRescue = "rescue"
 )
 
 // Apply transitions job states according to the assignments, charging
@@ -214,20 +243,45 @@ func Apply(now float64, jobs []*Job, assignments []Assignment, costs cluster.Cos
 		footprint := j.Spec.MemoryAt(j.Done)
 		switch j.Status {
 		case Pending:
+			if a.SpeedMHz <= 0 {
+				// A zero-speed placement of a never-started job is a
+				// no-op: it must not pay the boot cost or pollute the
+				// Starts metric for work that did not run. Leave it
+				// pending (and unplaced) instead of parking it.
+				continue
+			}
 			j.Started = true
 			j.Starts++
 			counter.Inc(ActionStart, 1)
 			j.BlockedUntil = now + costs.Boot()
 		case Suspended:
-			j.Resumes++
-			counter.Inc(ActionResume, 1)
-			changes++
 			cost := costs.Resume(footprint)
-			if a.Node != j.LastNode {
+			moved := a.Node != j.LastNode
+			if moved {
 				cost += costs.Migrate(footprint)
-				j.Migrations++
-				counter.Inc(ActionMigrate, 1)
+			}
+			if j.Evicted {
+				// Involuntary: the node vanished underneath the job.
+				// Count the rescue on its own so failure recovery stays
+				// distinct from the voluntary Figure-4 changes.
+				j.Evicted = false
+				j.Rescues++
+				counter.Inc(ActionRescue, 1)
+				j.Resumes++
+				counter.Inc(ActionResume, 1)
+				if moved {
+					j.Migrations++
+					counter.Inc(ActionMigrate, 1)
+				}
+			} else {
+				j.Resumes++
+				counter.Inc(ActionResume, 1)
 				changes++
+				if moved {
+					j.Migrations++
+					counter.Inc(ActionMigrate, 1)
+					changes++
+				}
 			}
 			j.BlockedUntil = now + cost
 		case Running, Paused:

@@ -187,3 +187,97 @@ func TestApplyPause(t *testing.T) {
 		t.Fatal("pausing should not count as a placement action")
 	}
 }
+
+// TestApplyZeroSpeedPendingStaysPending is the regression test for the
+// boot-charge bug: a never-started job assigned a node with no CPU must
+// not pay the boot cost, count a start, or leave the Pending state.
+func TestApplyZeroSpeedPendingStaysPending(t *testing.T) {
+	costs := cluster.DefaultCostModel()
+	counter := metrics.NewCounter()
+	j := NewJob(spec("idleplaced", 4000, 1000, 1000, 0, 40))
+
+	changes := Apply(10, []*Job{j}, []Assignment{{Job: j, Node: 2, SpeedMHz: 0}}, costs, counter)
+
+	if j.Status != Pending || j.Started || j.Starts != 0 {
+		t.Fatalf("job = %+v, want untouched pending job", j)
+	}
+	if j.Node != NoNode {
+		t.Fatalf("node = %v, want NoNode", j.Node)
+	}
+	if j.BlockedUntil != 0 {
+		t.Fatalf("BlockedUntil = %v, want no boot charge", j.BlockedUntil)
+	}
+	if counter.Total() != 0 || changes != 0 {
+		t.Fatalf("actions = %d, changes = %d, want none", counter.Total(), changes)
+	}
+
+	// A positive-speed assignment later starts it normally.
+	Apply(20, []*Job{j}, []Assignment{{Job: j, Node: 2, SpeedMHz: 800}}, costs, counter)
+	if j.Status != Running || j.Starts != 1 || counter.Get(ActionStart) != 1 {
+		t.Fatalf("job after real start = %+v", j)
+	}
+}
+
+// TestApplyRescueAccounting pins the involuntary-move bookkeeping: an
+// evicted job's re-placement counts as a rescue (plus the underlying
+// resume/migrate actions) but not as a voluntary Figure-4 change.
+func TestApplyRescueAccounting(t *testing.T) {
+	costs := cluster.DefaultCostModel()
+	counter := metrics.NewCounter()
+	j := NewJob(spec("survivor", 8000, 1000, 1000, 0, 100))
+	j.Status = Running
+	j.Node = 1
+	j.SpeedMHz = 1000
+	j.Started = true
+	j.Done = 3000
+
+	j.Evict()
+	if j.Status != Suspended || !j.Evicted || j.Node != NoNode || j.LastNode != 1 {
+		t.Fatalf("after Evict: %+v", j)
+	}
+	if j.Done != 3000 {
+		t.Fatalf("eviction lost progress: Done = %v", j.Done)
+	}
+	if j.Suspends != 1 {
+		t.Fatalf("Suspends = %d, want 1", j.Suspends)
+	}
+
+	// Re-placement on another node: rescue, not a voluntary change.
+	changes := Apply(30, []*Job{j}, []Assignment{{Job: j, Node: 2, SpeedMHz: 900}}, costs, counter)
+	if changes != 0 {
+		t.Fatalf("changes = %d, want 0 (involuntary moves are not Figure-4 changes)", changes)
+	}
+	if j.Rescues != 1 || counter.Get(ActionRescue) != 1 {
+		t.Fatalf("rescues = %d, counter = %d, want 1/1", j.Rescues, counter.Get(ActionRescue))
+	}
+	if j.Evicted {
+		t.Fatal("Evicted still set after rescue")
+	}
+	if j.Status != Running || j.Node != 2 || j.Done != 3000 {
+		t.Fatalf("after rescue: %+v", j)
+	}
+	wantBlock := 30 + costs.Resume(1000) + costs.Migrate(1000)
+	if math.Abs(j.BlockedUntil-wantBlock) > 1e-9 {
+		t.Fatalf("BlockedUntil = %v, want %v", j.BlockedUntil, wantBlock)
+	}
+
+	// A later voluntary suspend/resume goes back to the normal metric.
+	Apply(40, []*Job{j}, nil, costs, counter)
+	if j.Status != Suspended || j.Evicted {
+		t.Fatalf("voluntary suspend: %+v", j)
+	}
+	changes = Apply(50, []*Job{j}, []Assignment{{Job: j, Node: 2, SpeedMHz: 900}}, costs, counter)
+	if changes != 1 || counter.Get(ActionRescue) != 1 {
+		t.Fatalf("voluntary resume: changes = %d, rescues = %d", changes, counter.Get(ActionRescue))
+	}
+}
+
+// TestEvictNonRunningIsNoOp: pending/suspended/completed jobs hold no
+// node, so eviction must not touch them.
+func TestEvictNonRunningIsNoOp(t *testing.T) {
+	j := NewJob(spec("idle", 4000, 1000, 1000, 0, 40))
+	j.Evict()
+	if j.Status != Pending || j.Evicted || j.Suspends != 0 {
+		t.Fatalf("evicting a pending job changed it: %+v", j)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
@@ -104,6 +105,37 @@ type Coordinator struct {
 	// prev is the last cycle's per-zone stats; its utilization and
 	// unmet-demand aggregates bias the next rebalancing pass.
 	prev []Stats
+	// prevFingerprint identifies the node set prev was computed for
+	// (count plus per-position capacities — see clusterFingerprint).
+	// When it changes (a node joined, failed or left), the zone shapes
+	// shift, so the carried pressure no longer describes the new zones
+	// and is dropped; the repartition itself falls out of newLayout,
+	// which is a pure function of the current node count.
+	prevFingerprint uint64
+}
+
+// clusterFingerprint hashes the node set as the zone math sees it: the
+// count and each dense position's name and CPU/memory capacity. A count
+// check alone would miss equal-count churn (one node failed, one
+// joined), where positions shift and the old per-zone pressure would be
+// applied to repartitioned zones it never described; names are included
+// because on a uniform fleet the capacities alone cannot tell a shifted
+// membership from a stable one (inventory names are unique and never
+// reused, so they identify membership exactly).
+func clusterFingerprint(c *cluster.Cluster) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(c.Len()))
+	h.Write(b[:])
+	for _, n := range c.Nodes() {
+		h.Write([]byte(n.Name))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(n.CPUMHz))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(n.MemMB))
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 // New validates the configuration and returns an empty coordinator.

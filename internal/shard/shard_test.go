@@ -394,3 +394,140 @@ func TestPinnedNodesHonoredAcrossZones(t *testing.T) {
 		t.Fatal("free job not placed")
 	}
 }
+
+// shrink rebuilds the problem as the planner would after node `removed`
+// vanished: one fewer node, densely renumbered, with placement entries
+// on the removed node dropped and higher IDs shifted down.
+func shrink(t *testing.T, p *core.Problem, removed cluster.NodeID) *core.Problem {
+	t.Helper()
+	old := p.Cluster.Nodes()
+	defs := make([]cluster.Node, 0, len(old)-1)
+	for _, n := range old {
+		if n.ID == removed {
+			continue
+		}
+		defs = append(defs, cluster.Node{CPUMHz: n.CPUMHz, MemMB: n.MemMB})
+	}
+	cl, err := cluster.New(defs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remap := func(nd cluster.NodeID) (cluster.NodeID, bool) {
+		switch {
+		case nd == removed:
+			return -1, false
+		case nd > removed:
+			return nd - 1, true
+		default:
+			return nd, true
+		}
+	}
+	current := core.NewPlacement(len(p.Apps))
+	if p.Current != nil {
+		for i := range p.Apps {
+			for _, nd := range p.Current.NodesOf(i) {
+				if m, ok := remap(nd); ok {
+					current.Add(i, m)
+				}
+			}
+		}
+	}
+	out := *p
+	out.Cluster = cl
+	out.Current = current
+	return &out
+}
+
+// TestRepartitionAfterNodeChurnDeterministic: when the node set changes
+// between cycles, the coordinator repartitions (and drops the stale
+// per-zone pressure), and two coordinators fed the same history produce
+// bit-identical placements and zone assignments throughout.
+func TestRepartitionAfterNodeChurnDeterministic(t *testing.T) {
+	mk := func() *Coordinator {
+		c, err := New(Config{Count: 3, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	p := buildProblem(t, 31, 30, 2, 18)
+	q := buildProblem(t, 31, 30, 2, 18)
+
+	step := func(pa, pb *core.Problem) (*core.Result, *core.Result) {
+		ra, _, err := a.Solve(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := b.Solve(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := ra.Placement.Changes(rb.Placement); d != 0 {
+			t.Fatalf("coordinators diverged by %d instances", d)
+		}
+		asgA, asgB := a.Assignments(), b.Assignments()
+		if len(asgA) != len(asgB) {
+			t.Fatalf("assignment sizes differ: %d vs %d", len(asgA), len(asgB))
+		}
+		for name, zone := range asgA {
+			if asgB[name] != zone {
+				t.Fatalf("app %s assigned to zone %d vs %d", name, zone, asgB[name])
+			}
+		}
+		return ra, rb
+	}
+
+	ra, rb := step(p, q)
+	advance(p, ra)
+	advance(q, rb)
+	// A node fails: the layout shrinks from 30 to 29 nodes and the zone
+	// boundaries shift.
+	p, q = shrink(t, p, 7), shrink(t, q, 7)
+	ra, rb = step(p, q)
+	if got := a.Stats(); len(got) != 3 {
+		t.Fatalf("stats for %d zones, want 3", len(got))
+	}
+	advance(p, ra)
+	advance(q, rb)
+	step(p, q) // steady cycle on the mutated inventory
+}
+
+// TestSingleShardIdenticalAfterChurn extends the single-zone ≡ flat
+// guarantee across a node-set mutation: a one-zone coordinator carrying
+// state from before the failure must still reproduce the flat solver bit
+// for bit on the shrunk cluster.
+func TestSingleShardIdenticalAfterChurn(t *testing.T) {
+	p := buildProblem(t, 41, 24, 2, 12)
+	c, err := New(Config{Count: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(p, res)
+	p = shrink(t, p, 5)
+
+	flatRes, err := core.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := c.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Nodes != 23 {
+		t.Fatalf("stats = %+v, want one 23-node zone", stats)
+	}
+	if d := res.Placement.Changes(flatRes.Placement); d != 0 {
+		t.Fatalf("single-shard placement differs from flat solver by %d instances after churn", d)
+	}
+	if res.Eval.Vector.Compare(flatRes.Eval.Vector) != 0 {
+		t.Fatalf("utility vector differs after churn: shard %v flat %v", res.Eval.Vector, flatRes.Eval.Vector)
+	}
+	if res.CandidatesEvaluated != flatRes.CandidatesEvaluated {
+		t.Fatalf("candidates %d, flat %d", res.CandidatesEvaluated, flatRes.CandidatesEvaluated)
+	}
+}

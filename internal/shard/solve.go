@@ -40,6 +40,13 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 		return nil, nil, err
 	}
 	lay := newLayout(p.Cluster.Len(), c.cfg.Count)
+	if fp := clusterFingerprint(p.Cluster); fp != c.prevFingerprint {
+		// The node set changed since the retained stats were computed:
+		// zone shapes moved, so carrying the old per-zone pressure into
+		// the repartitioned layout would bias the wrong zones.
+		c.prev = nil
+		c.prevFingerprint = fp
+	}
 	st := c.rebalance(p, lay)
 	subs := buildSubproblems(p, lay, st)
 

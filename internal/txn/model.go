@@ -65,11 +65,19 @@ type App struct {
 // ErrBadApp reports an invalid application definition.
 var ErrBadApp = errors.New("txn: invalid application")
 
+// Quiesced reports whether the application currently has no demand at
+// all (arrival rate zero). A quiesced app stays registered — ready to be
+// revived by a later rate change — but needs no CPU: its utility sits at
+// the achievable cap regardless of allocation, and its demand is zero,
+// so the placement controller is free to hand its resources to other
+// work without removing the app.
+func (a *App) Quiesced() bool { return a.ArrivalRate == 0 }
+
 // Validate checks the app definition for internal consistency.
 func (a *App) Validate() error {
 	switch {
-	case a.ArrivalRate <= 0:
-		return fmt.Errorf("%w %q: arrival rate must be positive", ErrBadApp, a.Name)
+	case a.ArrivalRate < 0:
+		return fmt.Errorf("%w %q: arrival rate must be nonnegative", ErrBadApp, a.Name)
 	case a.DemandPerRequest <= 0:
 		return fmt.Errorf("%w %q: per-request demand must be positive", ErrBadApp, a.Name)
 	case a.BaseLatency < 0:
@@ -108,6 +116,10 @@ func (a *App) saturationDemand() float64 {
 // the mean, or the configured percentile when GoalPercentile is set. It
 // returns +Inf when the allocation cannot sustain the arrival rate.
 func (a *App) ResponseTime(omega float64) float64 {
+	if a.Quiesced() {
+		// No arrivals: no queueing, whatever the allocation.
+		return a.BaseLatency
+	}
 	if a.MaxPowerMHz > 0 && omega > a.MaxPowerMHz {
 		omega = a.MaxPowerMHz
 	}
@@ -132,6 +144,9 @@ func (a *App) Utility(omega float64) float64 {
 // Demand inverts Utility: the smallest allocation achieving relative
 // performance u. Levels above UtilityCap return MaxDemand.
 func (a *App) Demand(u float64) float64 {
+	if a.Quiesced() {
+		return 0
+	}
 	cap := a.UtilityCap()
 	if u >= cap {
 		return a.MaxDemand()
@@ -162,6 +177,9 @@ func (a *App) UtilityCap() float64 {
 // returns the allocation achieving 99.9% of the utility cap, keeping the
 // solver's search space finite.
 func (a *App) MaxDemand() float64 {
+	if a.Quiesced() {
+		return 0
+	}
 	if a.MaxPowerMHz > 0 {
 		return a.MaxPowerMHz
 	}

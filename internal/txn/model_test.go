@@ -31,7 +31,8 @@ func TestValidate(t *testing.T) {
 		wantOK bool
 	}{
 		{"valid", func(*App) {}, true},
-		{"zero arrival", func(a *App) { a.ArrivalRate = 0 }, false},
+		{"zero arrival quiesces", func(a *App) { a.ArrivalRate = 0 }, true},
+		{"negative arrival", func(a *App) { a.ArrivalRate = -2 }, false},
 		{"zero demand", func(a *App) { a.DemandPerRequest = 0 }, false},
 		{"negative latency", func(a *App) { a.BaseLatency = -1 }, false},
 		{"goal below floor", func(a *App) { a.GoalResponseTime = 0.01 }, false},
@@ -196,5 +197,38 @@ func TestPercentileValidation(t *testing.T) {
 		if err := a.Validate(); !errors.Is(err, ErrBadApp) {
 			t.Fatalf("percentile %v accepted", p)
 		}
+	}
+}
+
+// TestQuiescedApp pins the rate-0 "no demand" semantics: a ramp-to-idle
+// schedule must be able to quiesce an application without removing it.
+func TestQuiescedApp(t *testing.T) {
+	a := experiment3App()
+	a.ArrivalRate = 0
+	if err := a.Validate(); err != nil {
+		t.Fatalf("zero arrival rate rejected: %v", err)
+	}
+	if !a.Quiesced() {
+		t.Fatal("Quiesced = false at rate 0")
+	}
+	if got := a.ResponseTime(0); got != a.BaseLatency {
+		t.Fatalf("ResponseTime(0) = %v, want base latency %v", got, a.BaseLatency)
+	}
+	cap := a.UtilityCap()
+	for _, omega := range []float64{0, 100, 1e6} {
+		if got := a.Utility(omega); math.Abs(got-cap) > 1e-12 {
+			t.Fatalf("Utility(%v) = %v, want cap %v", omega, got, cap)
+		}
+	}
+	if got := a.Demand(0.5); got != 0 {
+		t.Fatalf("Demand = %v, want 0", got)
+	}
+	if got := a.MaxDemand(); got != 0 {
+		t.Fatalf("MaxDemand = %v, want 0", got)
+	}
+
+	a.ArrivalRate = -1
+	if err := a.Validate(); !errors.Is(err, ErrBadApp) {
+		t.Fatalf("negative arrival rate accepted: %v", err)
 	}
 }

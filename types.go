@@ -163,10 +163,13 @@ type JobResult struct {
 	// (deadline − completion) / (deadline − desired start).
 	Utility float64 `json:"utility"`
 	// Suspends, Resumes and Migrations count the placement actions the
-	// job experienced.
+	// job experienced. Rescues counts involuntary re-placements after a
+	// node failure; rescues are excluded from the voluntary
+	// placement-change metric.
 	Suspends   int `json:"suspends"`
 	Resumes    int `json:"resumes"`
 	Migrations int `json:"migrations"`
+	Rescues    int `json:"rescues"`
 }
 
 // Point is one (virtual time, value) sample of a recorded series.
