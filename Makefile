@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck docs build test shuffle bench
+.PHONY: check fmt vet staticcheck docs build test shuffle bench recovery-smoke
 
 check: fmt vet staticcheck docs build test
 
@@ -43,7 +43,12 @@ test:
 shuffle:
 	$(GO) test -count=2 -shuffle=on ./...
 
-# The CI bench-smoke job: one scale-sweep + churn-sweep run, tables on
-# stdout and BENCH_*.json rows in the working directory.
+# The CI bench-smoke job: one scale-sweep + churn-sweep + recovery-sweep
+# run, tables on stdout and BENCH_*.json rows in the working directory.
 bench:
-	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep' -benchtime=1x .
+	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep|BenchmarkRecoverySweep' -benchtime=1x .
+
+# The CI restart-recovery job: kill -9 a durable dynplaced and assert
+# the restarted daemon serves the pre-kill placement.
+recovery-smoke:
+	./scripts/recovery_smoke.sh

@@ -1,4 +1,4 @@
-package dynplace
+package dynplace_test
 
 // The benchmark harness regenerates every table and figure of the
 // paper's evaluation. Run it with:
@@ -18,6 +18,7 @@ import (
 	"sync"
 	"testing"
 
+	"dynplace"
 	"dynplace/internal/batch"
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
@@ -504,6 +505,45 @@ func BenchmarkChurnSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoverySweep runs the kill-and-restart scenarios: a durable
+// dynplaced daemon is killed mid-run with only its fsync'd WAL
+// surviving, a fresh daemon replays snapshot+WAL, and the table reports
+// replay cost, rescues, and the web-utility dip through the restart.
+// CI runs it with -benchtime=1x next to the other sweeps and uploads
+// BENCH_recovery_sweep.json.
+//
+// The sweep enforces the durability contract: /placement byte-identical
+// across the crash, zero lost jobs, and the web utility back at its
+// baseline by the horizon.
+func BenchmarkRecoverySweep(b *testing.B) {
+	opts := experiments.DefaultRecoverySweepOptions()
+	var rows []experiments.RecoverySweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunRecoverySweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.RecoverySweepTable(rows))
+	writeBenchJSON(b, "recovery_sweep", rows)
+	for _, r := range rows {
+		if !r.PlacementIntact {
+			b.Fatalf("placement diverged across the crash at kill cycle %d", r.KillCycle)
+		}
+		if r.LostJobs != 0 {
+			b.Fatalf("%d jobs lost at kill cycle %d — recovery contract broken", r.LostJobs, r.KillCycle)
+		}
+		if r.FinalWebUtility < r.BaselineWebUtility-0.02 {
+			b.Fatalf("web utility never recovered after kill cycle %d: baseline %.3f, final %.3f",
+				r.KillCycle, r.BaselineWebUtility, r.FinalWebUtility)
+		}
+		b.ReportMetric(float64(r.Rescues), fmt.Sprintf("rescues-kill%d", r.KillCycle))
+		b.ReportMetric(r.Replay.Seconds(), fmt.Sprintf("replay-s-kill%d", r.KillCycle))
+		b.ReportMetric(float64(r.ReplayedRecords), fmt.Sprintf("records-kill%d", r.KillCycle))
+	}
+}
+
 // writeBenchJSON emits the sweep rows as BENCH_<name>.json when the CI
 // bench-smoke job (or a local run) sets BENCH_JSON_DIR.
 func writeBenchJSON(b *testing.B, name string, rows any) {
@@ -560,15 +600,15 @@ func BenchmarkAllocationSolver(b *testing.B) {
 // public API (the quickstart scenario).
 func BenchmarkEndToEndPublicAPI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := NewSystem(
-			WithUniformCluster(4, 15600, 16384),
-			WithControlCycle(300),
-			WithDynamicPlacement(),
+		sys, err := dynplace.NewSystem(
+			dynplace.WithUniformCluster(4, 15600, 16384),
+			dynplace.WithControlCycle(300),
+			dynplace.WithDynamicPlacement(),
 		)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := sys.AddWebApp(WebAppSpec{
+		if err := sys.AddWebApp(dynplace.WebAppSpec{
 			Name: "web", ArrivalRate: 100, DemandPerRequest: 120,
 			BaseLatency: 0.04, GoalResponseTime: 0.25,
 			MaxPowerMHz: 30000, MemoryMB: 2000,
@@ -576,7 +616,7 @@ func BenchmarkEndToEndPublicAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 		for j := 0; j < 6; j++ {
-			if err := sys.SubmitJob(JobSpec{
+			if err := sys.SubmitJob(dynplace.JobSpec{
 				Name: fmt.Sprintf("job-%d", j), WorkMcycles: 3900 * 1200,
 				MaxSpeedMHz: 3900, MemoryMB: 4320,
 				Submit: float64(j) * 300, Deadline: 4 * 3600,

@@ -9,8 +9,19 @@
 // leave (DELETE /nodes/{name}) while the daemon runs. The -cluster flag
 // only seeds the initial inventory.
 //
-// /healthz reports the control loop's real state: "ok", "degraded"
-// while placement is infeasible (e.g. after losing too many nodes), or
+// With -state-dir the daemon is durable: every mutating API call and
+// every applied cycle is journaled to an fsync'd write-ahead log,
+// compacted into snapshots every -snapshot-every cycles, and replayed
+// on the next boot — apps, batch jobs (accumulated progress intact) and
+// the node inventory survive kill -9. Jobs that were running when the
+// process died are rescued onto the recovered placement. SIGTERM exits
+// gracefully: the cycle loop drains, a final snapshot is written, and
+// the process exits 0. GET /state reports durability status; POST
+// /state/snapshot compacts on demand.
+//
+// /healthz reports the control loop's real state: "recovering" while a
+// boot-time replay is rebuilding state, "ok", "degraded" while
+// placement is infeasible (e.g. after losing too many nodes), or
 // "failing" when cycles error, with the last error attached.
 //
 // Example:
@@ -45,6 +56,7 @@ import (
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
 	"dynplace/internal/daemon"
+	"dynplace/internal/store"
 )
 
 func main() {
@@ -62,6 +74,8 @@ func main() {
 		exact     = flag.Bool("exact", false, "use exact bisection for the batch performance predictor")
 		freeCosts = flag.Bool("free-costs", false, "disable placement-action costs (default: the paper's measured constants)")
 		quiet     = flag.Bool("quiet", false, "suppress per-cycle log lines")
+		stateDir  = flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty runs memory-only")
+		snapEvery = flag.Int("snapshot-every", 64, "cycles between compacting snapshots (negative disables periodic compaction)")
 	)
 	flag.Parse()
 
@@ -81,6 +95,13 @@ func main() {
 	if qc == 0 {
 		qc = -1 // daemon.Config: negative disables queuing
 	}
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			log.Fatalf("dynplaced: -state-dir: %v", err)
+		}
+	}
 	d, err := daemon.New(daemon.Config{
 		Cluster:      cl,
 		CycleSeconds: *cycle,
@@ -93,17 +114,15 @@ func main() {
 			Shards:            *shards,
 			ShardSeed:         *shardSeed,
 		},
-		QueueCap: qc,
-		History:  *history,
-		Logf:     logf,
+		QueueCap:      qc,
+		History:       *history,
+		Logf:          logf,
+		Store:         st,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		log.Fatalf("dynplaced: %v", err)
 	}
-	if err := d.Start(); err != nil {
-		log.Fatalf("dynplaced: %v", err)
-	}
-	defer d.Stop()
 
 	srv := &http.Server{
 		Addr:              *listen,
@@ -112,8 +131,21 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Serve before recovering so /healthz can answer "recovering" while
+	// the replay rebuilds state — load balancers keep traffic away
+	// instead of timing out.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if st != nil {
+		log.Printf("dynplaced: durable state in %s (snapshot every %d cycles)", *stateDir, *snapEvery)
+		if err := d.Recover(); err != nil {
+			log.Fatalf("dynplaced: recover: %v", err)
+		}
+	}
+	if err := d.Start(); err != nil {
+		log.Fatalf("dynplaced: %v", err)
+	}
+	defer d.Stop()
 	mode := "flat placement"
 	if *shards >= 1 {
 		mode = fmt.Sprintf("%d placement zones", *shards)
@@ -129,12 +161,20 @@ func main() {
 			log.Fatalf("dynplaced: %v", err)
 		}
 	case s := <-sig:
+		// Graceful shutdown: stop accepting requests, drain the cycle
+		// loop, flush the store with a final snapshot, and exit 0.
 		fmt.Fprintln(os.Stderr)
 		log.Printf("dynplaced: %v, shutting down", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("dynplaced: shutdown: %v", err)
+		}
+		if err := d.Shutdown(); err != nil {
+			log.Fatalf("dynplaced: final snapshot: %v", err)
+		}
+		if st != nil {
+			log.Printf("dynplaced: state flushed to %s", *stateDir)
 		}
 	}
 }

@@ -76,6 +76,15 @@
 // (internal/control.Planner), which is what makes behavior validated
 // against the paper's experiments carry over to live operation.
 //
+// With -state-dir the daemon is durable (internal/store): mutations and
+// applied cycles are journaled to an fsync'd write-ahead log with
+// periodic compacting snapshots, and a restart replays them — apps,
+// jobs with accumulated progress, and the node inventory survive
+// kill -9, with previously running jobs rescued onto the recovered
+// placement. GET /state and the shared SystemMetrics gauges
+// (UptimeCycles, Restarts, ReplayDurationSeconds — see System.Metrics)
+// report the recovery trajectory.
+//
 // # Scaling: parallelism and sharding
 //
 // Two knobs scale the per-cycle placement solve past the paper's

@@ -300,3 +300,29 @@ func convertPoints(in []metrics.Point) []Point {
 	}
 	return out
 }
+
+// SystemMetrics is the durability-and-uptime gauge set shared by the
+// simulated System and the live daemon's /metrics payload (the daemon
+// inlines these fields in its metrics and state views, under the same
+// JSON names). For a System — which lives and dies with one process —
+// Restarts and ReplayDurationSeconds are always zero; the dynplaced
+// daemon reports its real crash-recovery trajectory through them.
+type SystemMetrics struct {
+	// UptimeCycles counts control cycles executed by this process (for
+	// a System, all cycles ever run).
+	UptimeCycles int64 `json:"uptimeCycles"`
+	// Restarts counts recoveries from the durable state store that
+	// preceded this process's state.
+	Restarts int `json:"restarts"`
+	// ReplayDurationSeconds is how long the last snapshot+WAL replay
+	// took (wall-clock seconds).
+	ReplayDurationSeconds float64 `json:"replayDurationSeconds"`
+}
+
+// Metrics reports the system's lifetime gauges.
+func (s *System) Metrics() SystemMetrics {
+	if s.runner == nil {
+		return SystemMetrics{}
+	}
+	return SystemMetrics{UptimeCycles: s.runner.Cycles()}
+}

@@ -385,3 +385,30 @@ func TestNodeChurnThroughPublicAPI(t *testing.T) {
 		t.Fatal("failure produced no rescues")
 	}
 }
+
+func TestSystemMetrics(t *testing.T) {
+	sys, err := NewSystem(
+		WithUniformCluster(2, 3000, 4096),
+		WithControlCycle(60),
+		WithDynamicPlacement(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sys.Metrics(); m != (SystemMetrics{}) {
+		t.Fatalf("metrics before run = %+v", m)
+	}
+	if err := sys.SubmitJob(JobSpec{
+		Name: "j", WorkMcycles: 60000, MaxSpeedMHz: 3000, MemoryMB: 100, Deadline: 600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Metrics()
+	// Cycles at 0, 60, ..., 300; a System never restarts or replays.
+	if m.UptimeCycles == 0 || m.Restarts != 0 || m.ReplayDurationSeconds != 0 {
+		t.Fatalf("metrics after run = %+v", m)
+	}
+}

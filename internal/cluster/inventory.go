@@ -175,6 +175,38 @@ func (v *Inventory) Add(n Node) (NodeID, error) {
 	return n.ID, nil
 }
 
+// RestoreAdd re-registers a node with an explicit, journaled ID during
+// recovery replay. Unlike Add it does not allocate: it validates that
+// the ID is still available (at or beyond the allocator's next ID —
+// IDs below it were assigned or retired before the record was written)
+// and advances the allocator past it. This keeps replay exact even
+// when the live inventory burned IDs that no record captured (e.g. an
+// add rolled back because its journal append failed).
+func (v *Inventory) RestoreAdd(n Node, id NodeID) error {
+	if n.CPUMHz <= 0 || n.MemMB <= 0 {
+		return fmt.Errorf("%w: node needs positive CPU and memory (got %v MHz, %v MB)",
+			ErrBadNode, n.CPUMHz, n.MemMB)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id < v.nextID {
+		return fmt.Errorf("%w: restored node ID %d already allocated (next is %d)",
+			ErrBadNode, id, v.nextID)
+	}
+	n.ID = id
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("node-%d", n.ID)
+	}
+	if _, dup := v.byName[n.Name]; dup {
+		return fmt.Errorf("%w: duplicate node name %q", ErrBadNode, n.Name)
+	}
+	v.nextID = id + 1
+	v.byName[n.Name] = len(v.nodes)
+	v.nodes = append(v.nodes, InventoryNode{Node: n, State: NodeActive})
+	v.version++
+	return nil
+}
+
 // Drain marks the named node as draining: it stops accepting placements
 // and the controller migrates its work off at the next cycle. Draining a
 // node that is already draining is a no-op; draining a failed node is an
@@ -247,4 +279,92 @@ func (v *Inventory) Remove(name string) (NodeID, error) {
 	}
 	v.version++
 	return id, nil
+}
+
+// InventoryNodeSnapshot is the stable serialized form of one inventory
+// entry, used by the daemon's durable store.
+type InventoryNodeSnapshot struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	CPUMHz float64 `json:"cpuMHz"`
+	MemMB  float64 `json:"memMB"`
+	State  string  `json:"state"`
+}
+
+// InventorySnapshot is the stable serialized form of a whole inventory:
+// every node with its lifecycle state, the version counter, and the
+// next ID to assign — enough to resume the registry exactly, with
+// retired IDs staying retired across restarts.
+type InventorySnapshot struct {
+	Version int64                   `json:"version"`
+	NextID  int                     `json:"nextID"`
+	Nodes   []InventoryNodeSnapshot `json:"nodes"`
+}
+
+// Export captures the inventory for serialization.
+func (v *Inventory) Export() InventorySnapshot {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := InventorySnapshot{
+		Version: v.version,
+		NextID:  int(v.nextID),
+		Nodes:   make([]InventoryNodeSnapshot, 0, len(v.nodes)),
+	}
+	for _, n := range v.nodes {
+		out.Nodes = append(out.Nodes, InventoryNodeSnapshot{
+			ID:     int(n.ID),
+			Name:   n.Name,
+			CPUMHz: n.CPUMHz,
+			MemMB:  n.MemMB,
+			State:  n.State.String(),
+		})
+	}
+	return out
+}
+
+// ParseNodeState inverts NodeState.String for deserialization.
+func ParseNodeState(s string) (NodeState, error) {
+	for _, st := range []NodeState{NodeActive, NodeDraining, NodeFailed} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown node state %q", s)
+}
+
+// ImportInventory rebuilds an inventory from a snapshot, restoring node
+// IDs, lifecycle states, the version counter and the ID allocator. An
+// imported inventory may legitimately be empty (every node removed);
+// planning against it reports infeasibility once workloads exist.
+func ImportInventory(s InventorySnapshot) (*Inventory, error) {
+	if s.Version < 1 {
+		return nil, fmt.Errorf("%w: inventory version %d", ErrBadNode, s.Version)
+	}
+	inv := &Inventory{version: s.Version, nextID: NodeID(s.NextID), byName: make(map[string]int)}
+	lastID := NodeID(-1)
+	for _, n := range s.Nodes {
+		state, err := ParseNodeState(n.State)
+		if err != nil {
+			return nil, err
+		}
+		if n.CPUMHz <= 0 || n.MemMB <= 0 {
+			return nil, fmt.Errorf("%w: node %q needs positive CPU and memory", ErrBadNode, n.Name)
+		}
+		if NodeID(n.ID) <= lastID {
+			return nil, fmt.Errorf("%w: node IDs not strictly ascending at %q", ErrBadNode, n.Name)
+		}
+		lastID = NodeID(n.ID)
+		if _, dup := inv.byName[n.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate node name %q", ErrBadNode, n.Name)
+		}
+		inv.byName[n.Name] = len(inv.nodes)
+		inv.nodes = append(inv.nodes, InventoryNode{
+			Node:  Node{ID: NodeID(n.ID), Name: n.Name, CPUMHz: n.CPUMHz, MemMB: n.MemMB},
+			State: state,
+		})
+	}
+	if inv.nextID <= lastID {
+		return nil, fmt.Errorf("%w: nextID %d does not clear max node ID %d", ErrBadNode, inv.nextID, lastID)
+	}
+	return inv, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"testing"
 )
@@ -113,5 +114,122 @@ func TestInventoryValidation(t *testing.T) {
 	}
 	if n, _ := inv.Node(0); n.State != NodeFailed {
 		t.Fatalf("state after FailID = %v, want failed", n.State)
+	}
+}
+
+// TestInventoryExportImportRoundTrip churns an inventory through every
+// lifecycle transition, round-trips it through JSON, and checks the
+// import resumes the registry exactly: IDs, states, version, and —
+// critically — the ID allocator, so IDs retired before the export stay
+// retired after it.
+func TestInventoryExportImportRoundTrip(t *testing.T) {
+	cl, err := Uniform(3, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := NewInventory(cl)
+	if _, err := inv.Add(Node{Name: "spare", CPUMHz: 2000, MemMB: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Drain("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Fail("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Remove("node-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(inv.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap InventorySnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportInventory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != inv.Version() || got.Len() != inv.Len() {
+		t.Fatalf("version/len = %d/%d, want %d/%d", got.Version(), got.Len(), inv.Version(), inv.Len())
+	}
+	want := inv.Nodes()
+	have := got.Nodes()
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("node %d = %+v, want %+v", i, have[i], want[i])
+		}
+	}
+	// The removed node's ID (2) must stay retired: a fresh Add gets the
+	// next never-used ID on both original and import.
+	idOrig, err := inv.Add(Node{Name: "next-a", CPUMHz: 1000, MemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idImp, err := got.Add(Node{Name: "next-a", CPUMHz: 1000, MemMB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idOrig != idImp || idImp == 2 {
+		t.Fatalf("post-import ID allocation diverged: orig %d, import %d", idOrig, idImp)
+	}
+}
+
+func TestImportInventoryRejectsBadSnapshots(t *testing.T) {
+	good := InventorySnapshot{
+		Version: 3, NextID: 2,
+		Nodes: []InventoryNodeSnapshot{{ID: 0, Name: "a", CPUMHz: 100, MemMB: 100, State: "active"}},
+	}
+	cases := map[string]func(s *InventorySnapshot){
+		"zero version":    func(s *InventorySnapshot) { s.Version = 0 },
+		"unknown state":   func(s *InventorySnapshot) { s.Nodes[0].State = "zombie" },
+		"stale nextID":    func(s *InventorySnapshot) { s.NextID = 0 },
+		"nonpositive cpu": func(s *InventorySnapshot) { s.Nodes[0].CPUMHz = 0 },
+		"duplicate name": func(s *InventorySnapshot) {
+			s.Nodes = append(s.Nodes, InventoryNodeSnapshot{ID: 1, Name: "a", CPUMHz: 1, MemMB: 1, State: "active"})
+		},
+		"unordered ids": func(s *InventorySnapshot) {
+			s.Nodes = append(s.Nodes, InventoryNodeSnapshot{ID: 0, Name: "b", CPUMHz: 1, MemMB: 1, State: "active"})
+			s.NextID = 9
+		},
+	}
+	for name, mutate := range cases {
+		snap := good
+		snap.Nodes = append([]InventoryNodeSnapshot(nil), good.Nodes...)
+		mutate(&snap)
+		if _, err := ImportInventory(snap); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ImportInventory(good); err != nil {
+		t.Errorf("good snapshot rejected: %v", err)
+	}
+}
+
+// TestRestoreAddSkipsBurnedIDs covers the replay path behind a journal
+// failure: the live inventory allocated and retired an ID that no WAL
+// record captured, so replay must land the next journaled node on its
+// recorded (higher) ID and advance the allocator past it.
+func TestRestoreAddSkipsBurnedIDs(t *testing.T) {
+	inv := mustInventory(t, 2) // IDs 0, 1; nextID 2
+	// Journaled record says "spare" got ID 4 (IDs 2 and 3 were burned).
+	if err := inv.RestoreAdd(Node{Name: "spare", CPUMHz: 1000, MemMB: 1024}, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := inv.ByName("spare")
+	if !ok || n.ID != 4 || n.State != NodeActive {
+		t.Fatalf("restored node = %+v", n)
+	}
+	// The allocator continues after the restored ID.
+	id, err := inv.Add(Node{Name: "next", CPUMHz: 1000, MemMB: 1024})
+	if err != nil || id != 5 {
+		t.Fatalf("post-restore Add = %d, %v; want 5", id, err)
+	}
+	// An ID at or below the allocator is refused: it was already used.
+	if err := inv.RestoreAdd(Node{Name: "clash", CPUMHz: 1, MemMB: 1}, 3); err == nil {
+		t.Fatal("RestoreAdd accepted an already-allocated ID")
 	}
 }

@@ -124,6 +124,7 @@ type Runner struct {
 	queueLen     *metrics.Series
 	changes      *metrics.Series
 	totalChanges int
+	cycles       int64
 }
 
 // NewRunner validates the configuration and prepares a runner.
@@ -379,6 +380,7 @@ func (r *Runner) batchNodes() []scheduler.NodeCapacity {
 
 // cycle runs one control-loop iteration at time now.
 func (r *Runner) cycle(now float64) error {
+	r.cycles++
 	r.applyLoadSchedules(now)
 	for _, j := range r.jobs {
 		if j.Spec.Submit <= now {
@@ -574,6 +576,9 @@ func (r *Runner) OnTimeRate() float64 {
 	}
 	return float64(met) / float64(len(r.jobs))
 }
+
+// Cycles returns the number of control cycles executed so far.
+func (r *Runner) Cycles() int64 { return r.cycles }
 
 // TotalChanges returns the number of disruptive placement changes
 // (suspends, resumes, migrations) over the run — the paper's Figure 4.

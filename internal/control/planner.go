@@ -49,8 +49,20 @@ func NewPlanner(cl *cluster.Cluster, costs cluster.CostModel, dyn DynamicConfig)
 	if cl == nil || cl.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty cluster", ErrBadConfig)
 	}
+	return RestorePlanner(cluster.NewInventory(cl), costs, dyn)
+}
+
+// RestorePlanner prepares a planner around an existing (typically
+// recovered) inventory instead of a fresh cluster. Unlike NewPlanner it
+// accepts an empty inventory — a restored registry may legitimately
+// have lost every node, which Plan reports as infeasibility rather
+// than a configuration error.
+func RestorePlanner(inv *cluster.Inventory, costs cluster.CostModel, dyn DynamicConfig) (*Planner, error) {
+	if inv == nil {
+		return nil, fmt.Errorf("%w: nil inventory", ErrBadConfig)
+	}
 	p := &Planner{
-		inv:   cluster.NewInventory(cl),
+		inv:   inv,
 		costs: costs,
 		dyn:   dyn,
 	}
@@ -224,6 +236,41 @@ func (p *Planner) evictWeb(id cluster.NodeID) {
 // their cycle metrics so a persistently overcommitted cluster is
 // visible rather than silently retried.
 func (p *Planner) InfeasibleCycles() int { return p.infeasibleCycles }
+
+// RestoreInfeasibleCycles reinstates the lifetime infeasible-cycle
+// counter after a recovery, so the metric spans restarts.
+func (p *Planner) RestoreInfeasibleCycles(n int) {
+	if n > 0 {
+		p.infeasibleCycles = n
+	}
+}
+
+// WebPlacement returns the carried placement of the named application as
+// inventory node IDs — the state the optimizer's change-resistance
+// (keep-current-on-tie) depends on, which durable drivers journal so a
+// restarted controller does not gratuitously reshuffle instances.
+func (p *Planner) WebPlacement(name string) ([]cluster.NodeID, bool) {
+	for i, w := range p.webApps {
+		if w.Name == name {
+			return append([]cluster.NodeID(nil), p.webPlacement[i]...), true
+		}
+	}
+	return nil, false
+}
+
+// RestoreWebPlacement reinstates the named application's carried
+// placement from recovered state. Node IDs that no longer resolve in
+// the inventory are dropped at the next Plan call, exactly as with live
+// churn. It reports whether the app was registered.
+func (p *Planner) RestoreWebPlacement(name string, nodes []cluster.NodeID) bool {
+	for i, w := range p.webApps {
+		if w.Name == name {
+			p.webPlacement[i] = append([]cluster.NodeID(nil), nodes...)
+			return true
+		}
+	}
+	return false
+}
 
 // WebInstance is one placed instance of a web application in a Plan.
 type WebInstance struct {

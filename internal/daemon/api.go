@@ -29,6 +29,8 @@ import (
 //	POST   /nodes/{name}/drain start a graceful node departure
 //	POST   /nodes/{name}/fail  record an abrupt node loss
 //	DELETE /nodes/{name}       remove an empty (drained/failed) node
+//	GET    /state              durability status (WAL, snapshots, replay)
+//	POST   /state/snapshot     write a compacting snapshot now
 //
 // Bodies and responses are JSON; workload specs use the library's public
 // spec types (dynplace.WebAppSpec, dynplace.JobSpec).
@@ -49,6 +51,8 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /nodes/{name}/drain", d.handleDrainNode)
 	mux.HandleFunc("POST /nodes/{name}/fail", d.handleFailNode)
 	mux.HandleFunc("DELETE /nodes/{name}", d.handleRemoveNode)
+	mux.HandleFunc("GET /state", d.handleState)
+	mux.HandleFunc("POST /state/snapshot", d.handleSnapshot)
 	return mux
 }
 
@@ -247,6 +251,24 @@ func (d *Daemon) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
 }
 
+func (d *Daemon) handleState(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.Durability())
+}
+
+func (d *Daemon) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	info, err := d.SnapshotNow()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrDaemon) {
+			// No store configured: the request is wrong, not the daemon.
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 // statusFor maps domain errors onto HTTP statuses: bad specs and bad
 // requests are the client's fault; anything else is ours.
 func statusFor(err error) int {
@@ -256,6 +278,10 @@ func statusFor(err error) int {
 	case errors.Is(err, dynplace.ErrBadSpec), errors.Is(err, ErrDaemon),
 		errors.Is(err, control.ErrBadConfig), errors.Is(err, cluster.ErrBadNode):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrStore):
+		// The state dir is failing, not the request: 503 so clients and
+		// alerting treat it as a server-side durability outage.
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

@@ -106,3 +106,19 @@ func (c *SimClock) Advance(d float64) float64 {
 	target := c.sim.Now().Add(d)
 	return c.sim.Run(target).Seconds()
 }
+
+// offsetClock shifts an inner clock forward by a fixed offset. Recovery
+// installs one so virtual time resumes from the last journaled instant
+// instead of restarting at zero — job deadlines, load-schedule phases
+// and cycle timestamps all live on the same continued timeline, and
+// wall-clock downtime simply does not pass in virtual time.
+type offsetClock struct {
+	inner  Clock
+	offset float64
+}
+
+func (c *offsetClock) Now() float64 { return c.inner.Now() + c.offset }
+
+func (c *offsetClock) After(d float64, fn func(now float64)) func() bool {
+	return c.inner.After(d, func(t float64) { fn(t + c.offset) })
+}

@@ -18,8 +18,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dynplace"
+	"dynplace/internal/batch"
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
 	"dynplace/internal/core"
@@ -27,6 +29,8 @@ import (
 	"dynplace/internal/router"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/shard"
+	"dynplace/internal/store"
+	"dynplace/internal/txn"
 )
 
 // Config describes a daemon instance.
@@ -56,6 +60,16 @@ type Config struct {
 	RetainJobs int
 	// Logf, when set, receives one summary line per control cycle.
 	Logf func(format string, args ...any)
+	// Store, when set, makes the daemon durable: every mutating API call
+	// and every applied cycle is journaled to the write-ahead log, and
+	// Recover replays it after a crash. The daemon takes ownership: a
+	// graceful Shutdown writes a final snapshot and closes the store.
+	Store *store.Store
+	// SnapshotEvery is the compaction cadence in cycles: every Nth cycle
+	// the WAL is folded into a fresh snapshot (default 64; negative
+	// disables periodic snapshots — boot, shutdown and the snapshot
+	// endpoint still compact).
+	SnapshotEvery int
 }
 
 // ErrDaemon reports an invalid daemon configuration or request.
@@ -68,8 +82,30 @@ var ErrNotFound = errors.New("daemon: not found")
 // Daemon is the live control-loop runtime. All its methods are safe for
 // concurrent use; the HTTP handlers are thin wrappers over them.
 type Daemon struct {
-	cfg   Config
-	clock Clock
+	cfg Config
+	// clockP holds the active Clock. It is swapped exactly once, by
+	// Recover, for an offset clock that resumes recovered virtual time;
+	// the pointer is atomic because health probes read the clock
+	// lock-free while recovery may still be running.
+	clockP atomic.Pointer[Clock]
+
+	store *store.Store
+	// replaying suppresses journaling while Recover re-applies history.
+	replaying bool
+	// snapshotEvery is the periodic compaction cadence (0 = disabled).
+	snapshotEvery int
+	// walErrors counts journal appends that failed; mutations are
+	// refused on failure, but cycle records are best-effort (the loop
+	// must keep running), so a nonzero count means durability is
+	// degraded and is surfaced by GET /state.
+	walErrors int
+	// replayDuration, replayedRecords and baseCycles describe the last
+	// Recover: how long replay took, how many WAL records it applied,
+	// and the cycle counter value at process start (UptimeCycles is
+	// measured from it).
+	replayDuration  time.Duration
+	replayedRecords int
+	baseCycles      int64
 
 	mu      sync.Mutex
 	planner *control.Planner
@@ -93,10 +129,19 @@ type Daemon struct {
 	infeasibleStreak int
 
 	// cycles and placement are written under mu but read lock-free so
-	// /healthz and /placement never wait out an optimization pass.
-	cycles    atomic.Int64
-	placement atomic.Pointer[PlacementSnapshot]
+	// /healthz and /placement never wait out an optimization pass;
+	// recovering and restarts are lock-free for the same reason (the
+	// health endpoint reports "recovering" while replay holds mu).
+	cycles     atomic.Int64
+	placement  atomic.Pointer[PlacementSnapshot]
+	recovering atomic.Bool
+	restarts   atomic.Int64
 }
+
+// clock returns the active time source.
+func (d *Daemon) clock() Clock { return *d.clockP.Load() }
+
+func (d *Daemon) setClock(c Clock) { d.clockP.Store(&c) }
 
 // New validates the configuration and builds a stopped daemon.
 func New(cfg Config) (*Daemon, error) {
@@ -124,13 +169,16 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 64
+	}
 	planner, err := control.NewPlanner(cfg.Cluster, cfg.Costs, cfg.Dynamic)
 	if err != nil {
 		return nil, err
 	}
 	d := &Daemon{
 		cfg:           cfg,
-		clock:         cfg.Clock,
+		store:         cfg.Store,
 		planner:       planner,
 		router:        router.New(cfg.QueueCap),
 		jobSeen:       make(map[string]bool),
@@ -138,6 +186,10 @@ func New(cfg Config) (*Daemon, error) {
 		loadSchedules: make(map[string][]dynplace.LoadPhase),
 		actions:       metrics.NewCounter(),
 		history:       metrics.NewRing[CycleSnapshot](cfg.History),
+	}
+	d.setClock(cfg.Clock)
+	if cfg.SnapshotEvery > 0 {
+		d.snapshotEvery = cfg.SnapshotEvery
 	}
 	d.placement.Store(&PlacementSnapshot{
 		Web:              []WebPlacementView{},
@@ -161,7 +213,7 @@ func (d *Daemon) Start() error {
 	// ran — otherwise a Stop+Start could leave two tick chains running.
 	d.runGen++
 	gen := d.runGen
-	d.cancelTick = d.clock.After(0, func(now float64) { d.tick(gen, now) })
+	d.cancelTick = d.clock().After(0, func(now float64) { d.tick(gen, now) })
 	return nil
 }
 
@@ -181,7 +233,7 @@ func (d *Daemon) Stop() {
 }
 
 // Now returns the daemon clock's current time in seconds.
-func (d *Daemon) Now() float64 { return d.clock.Now() }
+func (d *Daemon) Now() float64 { return d.clock().Now() }
 
 // Router exposes the request router so traffic drivers can dispatch
 // against the current placement.
@@ -200,7 +252,7 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 	if err != nil {
 		return err
 	}
-	now := d.clock.Now()
+	now := d.clock().Now()
 	phases := append([]dynplace.LoadPhase(nil), spec.LoadSchedule...)
 	for _, ph := range phases {
 		// Rate 0 is a valid ramp-to-idle phase; only negative rates are
@@ -216,15 +268,33 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if _, dup := d.planner.WebApp(spec.Name); dup {
+		return fmt.Errorf("%w: duplicate web app %q", control.ErrBadConfig, spec.Name)
+	}
+	// Journal before applying: once the record is fsync'd the only
+	// remaining failure is the duplicate just excluded, so WAL and
+	// memory cannot diverge.
+	if err := d.journalLocked(store.Record{
+		Time: now,
+		Op:   store.OpAddApp,
+		App:  &store.AppState{Spec: appSpecOf(app), Schedule: phases},
+	}); err != nil {
+		return err
+	}
+	return d.applyAddApp(app, phases)
+}
+
+// applyAddApp registers a compiled app with the planner and seeds a
+// capacity-less routing entry so requests arriving before the first
+// cycle places the app are queued by overload protection instead of
+// bouncing as "unknown application". Callers hold d.mu.
+func (d *Daemon) applyAddApp(app *txn.App, phases []dynplace.LoadPhase) error {
 	if err := d.planner.AddWebApp(app); err != nil {
 		return err
 	}
-	// Seed a capacity-less routing entry so requests arriving before the
-	// first cycle places the app are queued by overload protection
-	// instead of bouncing as "unknown application".
-	d.router.Update(spec.Name, nil)
+	d.router.Update(app.Name, nil)
 	if len(phases) > 0 {
-		d.loadSchedules[spec.Name] = phases
+		d.loadSchedules[app.Name] = phases
 	}
 	return nil
 }
@@ -234,12 +304,22 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 func (d *Daemon) RemoveWebApp(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !d.planner.RemoveWebApp(name) {
+	if _, ok := d.planner.WebApp(name); !ok {
 		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
 	}
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpRemoveApp, Name: name,
+	}); err != nil {
+		return err
+	}
+	d.applyRemoveApp(name)
+	return nil
+}
+
+func (d *Daemon) applyRemoveApp(name string) {
+	d.planner.RemoveWebApp(name)
 	delete(d.loadSchedules, name)
 	d.router.Remove(name)
-	return nil
 }
 
 // SetArrivalRate updates the named application's observed request rate —
@@ -252,12 +332,22 @@ func (d *Daemon) SetArrivalRate(name string, rate float64) error {
 	if rate < 0 {
 		return fmt.Errorf("%w: arrival rate must be nonnegative", ErrDaemon)
 	}
-	if !d.planner.SetArrivalRate(name, rate) {
+	if _, ok := d.planner.WebApp(name); !ok {
 		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
 	}
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpSetLoad, Name: name, Rate: rate,
+	}); err != nil {
+		return err
+	}
+	d.applySetLoad(name, rate)
+	return nil
+}
+
+func (d *Daemon) applySetLoad(name string, rate float64) {
+	d.planner.SetArrivalRate(name, rate)
 	// A manual override supersedes any remaining scheduled phases.
 	delete(d.loadSchedules, name)
-	return nil
 }
 
 // SubmitJob registers a batch job. When relative is true the spec's
@@ -270,7 +360,7 @@ func (d *Daemon) SubmitJob(spec dynplace.JobSpec, relative bool) error {
 		return err
 	}
 	if relative {
-		now := d.clock.Now()
+		now := d.clock().Now()
 		internal.Submit += now
 		internal.DesiredStart += now
 		internal.Deadline += now
@@ -280,9 +370,19 @@ func (d *Daemon) SubmitJob(spec dynplace.JobSpec, relative bool) error {
 	if d.jobSeen[internal.Name] {
 		return fmt.Errorf("%w: duplicate job %q", ErrDaemon, internal.Name)
 	}
+	abs := jobSpecOf(internal)
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpSubmitJob, Job: &abs,
+	}); err != nil {
+		return err
+	}
+	d.applySubmitJob(internal)
+	return nil
+}
+
+func (d *Daemon) applySubmitJob(internal *batch.Spec) {
 	d.jobSeen[internal.Name] = true
 	d.jobs = append(d.jobs, scheduler.NewJob(internal))
-	return nil
 }
 
 // JobResults reports job outcomes: the retained completed jobs
@@ -328,6 +428,10 @@ func (d *Daemon) Health() HealthView {
 	snap := d.placement.Load()
 	status := "ok"
 	switch {
+	case d.recovering.Load():
+		// WAL replay in progress: state is still being rebuilt, so load
+		// balancers must not route here yet.
+		status = "recovering"
 	case snap.Infeasible:
 		status = "degraded"
 	case snap.Err != "":
@@ -336,8 +440,9 @@ func (d *Daemon) Health() HealthView {
 	active := countActive(snap.Nodes)
 	return HealthView{
 		Status:           status,
+		Restarts:         int(d.restarts.Load()),
 		LastError:        snap.Err,
-		Now:              d.clock.Now(),
+		Now:              d.clock().Now(),
 		CycleSeconds:     d.cfg.CycleSeconds,
 		Cycles:           d.cycles.Load(),
 		WebApps:          len(snap.Web),
@@ -358,6 +463,20 @@ func (d *Daemon) AddNode(name string, cpuMHz, memMB float64) (string, error) {
 		return "", err
 	}
 	n, _ := d.planner.Inventory().Node(id)
+	// The inventory assigns the ID, so the record is written after the
+	// fact — and carries the assignment so replay can verify it
+	// reproduces the same numbering. A failed journal rolls the node
+	// back: un-journaled state must not outlive the response.
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpAddNode,
+		Node: &cluster.InventoryNodeSnapshot{
+			ID: int(id), Name: n.Name, CPUMHz: cpuMHz, MemMB: memMB,
+			State: cluster.NodeActive.String(),
+		},
+	}); err != nil {
+		_ = d.planner.RemoveNode(id)
+		return "", err
+	}
 	d.cfg.Logf("node %s joined: %.0f MHz, %.0f MB (inventory v%d)",
 		n.Name, cpuMHz, memMB, d.planner.Inventory().Version())
 	return n.Name, nil
@@ -370,8 +489,18 @@ func (d *Daemon) DrainNode(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	inv := d.planner.Inventory()
-	if _, ok := inv.ByName(name); !ok {
+	n, ok := inv.ByName(name)
+	if !ok {
 		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
+	}
+	if n.State == cluster.NodeFailed {
+		// Drain would refuse below anyway; fail before journaling.
+		return fmt.Errorf("%w: cannot drain failed node %q", cluster.ErrBadNode, name)
+	}
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpDrainNode, Name: name,
+	}); err != nil {
+		return err
 	}
 	if _, err := inv.Drain(name); err != nil {
 		return err
@@ -388,12 +517,31 @@ func (d *Daemon) FailNode(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	inv := d.planner.Inventory()
-	n, ok := inv.ByName(name)
-	if !ok {
+	if _, ok := inv.ByName(name); !ok {
 		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
 	}
+	now := d.clock().Now()
+	if err := d.journalLocked(store.Record{
+		Time: now, Op: store.OpFailNode, Name: name,
+	}); err != nil {
+		return err
+	}
+	d.applyFailNode(name, now)
+	return nil
+}
+
+// applyFailNode records an abrupt node loss at instant now: capacity
+// vanishes, jobs on the node are advanced to the failure instant and
+// evicted (progress intact, rescue pending), and the node's dispatch
+// weights are withdrawn. Shared by the live API and WAL replay, which
+// passes the journaled failure time. Callers hold d.mu.
+func (d *Daemon) applyFailNode(name string, now float64) {
+	inv := d.planner.Inventory()
+	n, ok := inv.ByName(name)
+	if !ok {
+		return
+	}
 	d.planner.FailNode(n.ID)
-	now := d.clock.Now()
 	evicted := 0
 	for _, j := range d.jobs {
 		if j.Node != n.ID {
@@ -430,7 +578,6 @@ func (d *Daemon) FailNode(name string) error {
 	}
 	d.cfg.Logf("node %s failed: %d jobs awaiting rescue (inventory v%d)",
 		name, evicted, inv.Version())
-	return nil
 }
 
 // RemoveNode deregisters a node entirely. Nodes still hosting work are
@@ -452,6 +599,11 @@ func (d *Daemon) RemoveNode(name string) error {
 			return fmt.Errorf("%w: node %q still hosts job %q; drain or fail it first",
 				ErrDaemon, name, j.Spec.Name)
 		}
+	}
+	if err := d.journalLocked(store.Record{
+		Time: d.clock().Now(), Op: store.OpRemoveNode, Name: name,
+	}); err != nil {
+		return err
 	}
 	if err := d.planner.RemoveNode(n.ID); err != nil {
 		return err
@@ -514,12 +666,10 @@ func (d *Daemon) nodeViews(web []WebPlacementView, jobs []JobPlacementView) []No
 func (d *Daemon) Metrics() MetricsView {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	actions := make(map[string]int)
-	for _, name := range d.actions.Names() {
-		actions[name] = d.actions.Get(name)
-	}
+	actions := d.actionTotalsLocked()
+	durability := d.durabilityLocked()
 	return MetricsView{
-		Now:              d.clock.Now(),
+		Now:              d.clock().Now(),
 		Cycles:           d.cycles.Load(),
 		Actions:          actions,
 		InfeasibleCycles: d.planner.InfeasibleCycles(),
@@ -528,6 +678,8 @@ func (d *Daemon) Metrics() MetricsView {
 		Shards:           d.planner.ShardStats(),
 		InventoryVersion: d.planner.Inventory().Version(),
 		NodeStates:       d.planner.Inventory().Counts(),
+		SystemMetrics:    durability.SystemMetrics,
+		Durability:       durability,
 	}
 }
 
@@ -612,7 +764,7 @@ func (d *Daemon) tick(gen int, now float64) {
 		return
 	}
 	d.runCycle(now)
-	d.cancelTick = d.clock.After(d.cfg.CycleSeconds, func(t float64) { d.tick(gen, t) })
+	d.cancelTick = d.clock().After(d.cfg.CycleSeconds, func(t float64) { d.tick(gen, t) })
 }
 
 // runCycle is one control-loop iteration: observe, plan, act, publish.
@@ -626,10 +778,13 @@ func (d *Daemon) runCycle(now float64) {
 	}
 	// Retire completed jobs into the bounded results ring so the working
 	// set the loop scans each cycle stays proportional to live work.
+	var retired []dynplace.JobResult
 	keep := d.jobs[:0]
 	for _, j := range d.jobs {
 		if j.Status == scheduler.Completed {
-			d.completed.Push(jobResult(j))
+			res := jobResult(j)
+			d.completed.Push(res)
+			retired = append(retired, res)
 			continue
 		}
 		keep = append(keep, j)
@@ -677,6 +832,9 @@ func (d *Daemon) runCycle(now float64) {
 			Infeasible:  infeasible,
 			ActiveNodes: active,
 		})
+		// Even a failed cycle mutated durable state: completed jobs were
+		// retired and the cycle counter advanced.
+		d.journalCycleLocked(cycle, now, live, retired, err)
 		return
 	}
 	d.infeasibleStreak = 0
@@ -761,6 +919,13 @@ func (d *Daemon) runCycle(now float64) {
 	})
 	d.cfg.Logf("cycle %d t=%.1f: web=%d jobs=%d queued=%d changes=%d omegaG=%.0fMHz",
 		cycle, now, len(webApps), len(live), queued, changed, plan.OmegaG)
+	d.journalCycleLocked(cycle, now, live, retired, nil)
+	if d.store != nil && d.snapshotEvery > 0 && cycle%int64(d.snapshotEvery) == 0 {
+		if err := d.writeSnapshotLocked(); err != nil {
+			d.walErrors++
+			d.cfg.Logf("cycle %d: snapshot failed: %v", cycle, err)
+		}
+	}
 }
 
 func (d *Daemon) nodeName(id cluster.NodeID) string {

@@ -1,0 +1,554 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dynplace"
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/control"
+	"dynplace/internal/router"
+	"dynplace/internal/scheduler"
+	"dynplace/internal/store"
+	"dynplace/internal/txn"
+)
+
+// This file is the daemon's durability layer: journaling live mutations
+// into the store's write-ahead log, folding state into snapshots, and
+// Recover — the boot-time replay that reconstructs apps, jobs
+// (CompletedWork and Rescues intact) and the node inventory at its
+// recorded version after a crash or restart.
+
+// ErrStore reports a durable-state failure: the journal could not be
+// written, so the mutation was refused (or rolled back). Unlike
+// ErrDaemon this is the server's fault and surfaces as HTTP 503.
+var ErrStore = errors.New("daemon: durable state store unavailable")
+
+// journalLocked appends one record to the WAL and fsyncs. It is a no-op
+// without a store or while Recover is re-applying history. Callers hold
+// d.mu; a non-nil error means the mutation must not be applied (or must
+// be rolled back), because acknowledged state has to survive kill -9.
+func (d *Daemon) journalLocked(rec store.Record) error {
+	if d.store == nil || d.replaying {
+		return nil
+	}
+	if _, err := d.store.Append(rec); err != nil {
+		d.walErrors++
+		return fmt.Errorf("%w: journal: %v", ErrStore, err)
+	}
+	return nil
+}
+
+// journalCycleLocked journals one applied control cycle: per-app rates
+// and carried placements, every live job's runtime state, the jobs
+// retired this cycle, lifetime action totals, and the published
+// placement snapshot verbatim. Cycle records are best-effort — the
+// control loop must keep running even with a failing state dir — so
+// errors are counted and logged rather than propagated.
+func (d *Daemon) journalCycleLocked(cycle int64, now float64, live []*scheduler.Job, retired []dynplace.JobResult, cycleErr error) {
+	if d.store == nil || d.replaying {
+		return
+	}
+	rec := store.Record{
+		Time: now,
+		Op:   store.OpCycle,
+		Cycle: &store.CycleRecord{
+			Cycle:     cycle,
+			Time:      now,
+			Completed: retired,
+			Actions:   d.actionTotalsLocked(),
+		},
+	}
+	if cycleErr != nil {
+		rec.Cycle.Err = cycleErr.Error()
+		rec.Cycle.Infeasible = d.infeasibleStreak > 0
+	}
+	for _, w := range d.planner.WebApps() {
+		nodes, _ := d.planner.WebPlacement(w.Name)
+		rec.Cycle.Web = append(rec.Cycle.Web, store.WebCycleState{
+			Name:        w.Name,
+			ArrivalRate: w.ArrivalRate,
+			Nodes:       nodeIDInts(nodes),
+		})
+	}
+	for _, j := range live {
+		rec.Cycle.Jobs = append(rec.Cycle.Jobs, store.NamedJobState{
+			Name: j.Spec.Name, JobState: j.State(),
+		})
+	}
+	if raw, err := json.Marshal(d.placement.Load()); err == nil {
+		rec.Cycle.Placement = raw
+	}
+	if _, err := d.store.Append(rec); err != nil {
+		d.walErrors++
+		d.cfg.Logf("cycle %d: journal failed (durability degraded): %v", cycle, err)
+	}
+}
+
+func (d *Daemon) actionTotalsLocked() map[string]int {
+	totals := make(map[string]int)
+	for _, name := range d.actions.Names() {
+		totals[name] = d.actions.Get(name)
+	}
+	return totals
+}
+
+// snapshotStateLocked assembles the full durable state at this instant.
+func (d *Daemon) snapshotStateLocked() (*store.State, error) {
+	st := &store.State{
+		Time:             d.clock().Now(),
+		Cycles:           d.cycles.Load(),
+		Restarts:         int(d.restarts.Load()),
+		InfeasibleCycles: d.planner.InfeasibleCycles(),
+		Inventory:        d.planner.Inventory().Export(),
+		Actions:          d.actionTotalsLocked(),
+		Completed:        d.completed.Snapshot(),
+	}
+	for _, w := range d.planner.WebApps() {
+		nodes, _ := d.planner.WebPlacement(w.Name)
+		st.Apps = append(st.Apps, store.AppState{
+			Spec:      appSpecOf(w),
+			Schedule:  append([]dynplace.LoadPhase(nil), d.loadSchedules[w.Name]...),
+			Placement: nodeIDInts(nodes),
+		})
+	}
+	for _, j := range d.jobs {
+		st.Jobs = append(st.Jobs, store.JobRecord{
+			Spec: jobSpecOf(j.Spec), Runtime: j.State(),
+		})
+	}
+	st.JobNames = make([]string, 0, len(d.jobSeen))
+	for name := range d.jobSeen {
+		st.JobNames = append(st.JobNames, name)
+	}
+	sort.Strings(st.JobNames)
+	raw, err := json.Marshal(d.placement.Load())
+	if err != nil {
+		return nil, err
+	}
+	st.Placement = raw
+	return st, nil
+}
+
+// writeSnapshotLocked folds the current state into a snapshot and
+// rotates the WAL. Callers hold d.mu.
+func (d *Daemon) writeSnapshotLocked() error {
+	if d.store == nil {
+		return fmt.Errorf("%w: no state store configured", ErrDaemon)
+	}
+	st, err := d.snapshotStateLocked()
+	if err != nil {
+		return err
+	}
+	if err := d.store.WriteSnapshot(st); err != nil {
+		return err
+	}
+	d.cfg.Logf("snapshot written: seq %d, %d bytes, t=%.1f",
+		d.store.Info().SnapshotSeq, d.store.Info().SnapshotBytes, st.Time)
+	return nil
+}
+
+// SnapshotNow writes a compacting snapshot immediately — the handler
+// behind POST /state/snapshot and the final act of a graceful Shutdown.
+func (d *Daemon) SnapshotNow() (store.Info, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writeSnapshotLocked(); err != nil {
+		return store.Info{}, err
+	}
+	return d.store.Info(), nil
+}
+
+// Shutdown performs the graceful exit: stop the cycle loop, flush the
+// store with a final snapshot, and close it. The daemon refuses further
+// journaled mutations afterwards.
+func (d *Daemon) Shutdown() error {
+	d.Stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store == nil {
+		return nil
+	}
+	serr := d.writeSnapshotLocked()
+	cerr := d.store.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Recover replays the state store — snapshot first, then the WAL tail —
+// rebuilding apps, jobs and the node inventory exactly as journaled,
+// then rescues jobs that were running when the previous process died
+// and resumes the virtual clock from the last recorded instant
+// (wall-clock downtime does not pass in virtual time, so deadlines are
+// not charged for the outage). It must be called before Start; while it
+// runs, Health reports "recovering" so load balancers keep traffic away
+// until the state is rebuilt. A successful recovery ends with a boot
+// compaction: the replayed WAL is folded into a fresh snapshot.
+func (d *Daemon) Recover() error {
+	if d.store == nil {
+		return nil
+	}
+	st, recs, err := d.store.Load()
+	if err != nil {
+		return err
+	}
+	if st == nil && len(recs) == 0 {
+		return nil // fresh state directory
+	}
+	d.recovering.Store(true)
+	defer d.recovering.Store(false)
+	begin := time.Now()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return fmt.Errorf("%w: Recover must precede Start", ErrDaemon)
+	}
+	d.replaying = true
+	defer func() { d.replaying = false }()
+
+	lastTime := 0.0
+	if st != nil {
+		if err := d.restoreSnapshotLocked(st); err != nil {
+			return fmt.Errorf("%w: snapshot: %v", ErrDaemon, err)
+		}
+		lastTime = st.Time
+	}
+	for _, rec := range recs {
+		if err := d.applyRecordLocked(rec); err != nil {
+			return fmt.Errorf("%w: replay seq %d (%s): %v", ErrDaemon, rec.Seq, rec.Op, err)
+		}
+		if rec.Time > lastTime {
+			lastTime = rec.Time
+		}
+	}
+
+	// Rescue jobs that were running (or parked) when the process died:
+	// whatever executed them did not survive the controller, so they
+	// requeue suspended with progress intact and the Evicted mark — the
+	// first post-recovery cycle re-places them as rescues, exactly like
+	// a node failure.
+	rescued := 0
+	for _, j := range d.jobs {
+		if j.Status == scheduler.Running || j.Status == scheduler.Paused {
+			j.Evict()
+			rescued++
+		}
+	}
+	if rescued > 0 {
+		d.actions.Inc(scheduler.ActionSuspend, rescued)
+	}
+
+	// Rebuild live dispatch weights from the restored placement so
+	// requests route correctly before the first post-recovery cycle.
+	if snap := d.placement.Load(); snap != nil {
+		for _, w := range snap.Web {
+			ins := make([]router.Instance, 0, len(w.Instances))
+			for _, in := range w.Instances {
+				ins = append(ins, router.Instance{Node: in.Node, PowerMHz: in.PowerMHz})
+			}
+			d.router.Update(w.Name, ins)
+		}
+	}
+
+	// Resume virtual time at the last recorded instant.
+	if off := lastTime - d.clock().Now(); off > 0 {
+		d.setClock(&offsetClock{inner: d.cfg.Clock, offset: off})
+	}
+	prior := 0
+	if st != nil {
+		prior = st.Restarts
+	}
+	d.restarts.Store(int64(prior) + 1)
+	d.baseCycles = d.cycles.Load()
+	d.replayedRecords = len(recs)
+	d.replayDuration = time.Since(begin)
+	d.cfg.Logf("recovered %d apps, %d jobs, inventory v%d at t=%.1f: snapshot+%d records in %v (restart #%d), %d jobs rescued",
+		len(d.planner.WebApps()), len(d.jobs), d.planner.Inventory().Version(),
+		lastTime, len(recs), d.replayDuration.Round(time.Millisecond), d.restarts.Load(), rescued)
+
+	// Boot compaction: fold what we just replayed into a fresh snapshot
+	// so the next crash replays from here. replaying is still true, but
+	// snapshots bypass the journal. Failure is survivable — the old
+	// snapshot+WAL remain valid — so it degrades rather than aborts.
+	if err := d.writeSnapshotLocked(); err != nil {
+		d.walErrors++
+		d.cfg.Logf("boot compaction failed (durability degraded): %v", err)
+	}
+	return nil
+}
+
+// restoreSnapshotLocked rebuilds the daemon from a snapshot: the
+// planner around the imported inventory, apps with carried placements,
+// jobs with runtime state, results, counters, and the published
+// placement.
+func (d *Daemon) restoreSnapshotLocked(st *store.State) error {
+	inv, err := cluster.ImportInventory(st.Inventory)
+	if err != nil {
+		return err
+	}
+	planner, err := control.RestorePlanner(inv, d.cfg.Costs, d.cfg.Dynamic)
+	if err != nil {
+		return err
+	}
+	d.planner = planner
+	d.planner.RestoreInfeasibleCycles(st.InfeasibleCycles)
+	d.jobs = nil
+	d.jobSeen = make(map[string]bool)
+	d.loadSchedules = make(map[string][]dynplace.LoadPhase)
+	for _, a := range st.Apps {
+		app, err := dynplace.CompileWebApp(a.Spec)
+		if err != nil {
+			return fmt.Errorf("app %q: %w", a.Spec.Name, err)
+		}
+		if err := d.applyAddApp(app, a.Schedule); err != nil {
+			return err
+		}
+		d.planner.RestoreWebPlacement(app.Name, intNodeIDs(a.Placement))
+	}
+	for _, jr := range st.Jobs {
+		spec, err := dynplace.CompileJob(jr.Spec)
+		if err != nil {
+			return fmt.Errorf("job %q: %w", jr.Spec.Name, err)
+		}
+		j, err := scheduler.RestoreJob(spec, jr.Runtime)
+		if err != nil {
+			return err
+		}
+		d.jobs = append(d.jobs, j)
+		d.jobSeen[spec.Name] = true
+	}
+	for _, name := range st.JobNames {
+		d.jobSeen[name] = true
+	}
+	for _, res := range st.Completed {
+		d.completed.Push(res)
+	}
+	for name, v := range st.Actions {
+		d.actions.Set(name, v)
+	}
+	d.cycles.Store(st.Cycles)
+	return d.restorePlacementLocked(st.Placement)
+}
+
+// restorePlacementLocked republishes a journaled placement snapshot and
+// the health state derived from it.
+func (d *Daemon) restorePlacementLocked(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	var snap PlacementSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("placement snapshot: %w", err)
+	}
+	d.placement.Store(&snap)
+	d.infeasibleStreak = snap.InfeasibleStreak
+	return nil
+}
+
+// applyRecordLocked re-applies one WAL record. The record's journaled
+// time stands in for the clock, which has not been realigned yet.
+func (d *Daemon) applyRecordLocked(rec store.Record) error {
+	switch rec.Op {
+	case store.OpAddApp:
+		if rec.App == nil {
+			return fmt.Errorf("missing app payload")
+		}
+		app, err := dynplace.CompileWebApp(rec.App.Spec)
+		if err != nil {
+			return err
+		}
+		return d.applyAddApp(app, rec.App.Schedule)
+	case store.OpRemoveApp:
+		d.applyRemoveApp(rec.Name)
+		return nil
+	case store.OpSetLoad:
+		d.applySetLoad(rec.Name, rec.Rate)
+		return nil
+	case store.OpSubmitJob:
+		if rec.Job == nil {
+			return fmt.Errorf("missing job payload")
+		}
+		spec, err := dynplace.CompileJob(*rec.Job)
+		if err != nil {
+			return err
+		}
+		if d.jobSeen[spec.Name] {
+			return fmt.Errorf("duplicate job %q", spec.Name)
+		}
+		d.applySubmitJob(spec)
+		return nil
+	case store.OpAddNode:
+		if rec.Node == nil {
+			return fmt.Errorf("missing node payload")
+		}
+		// Restore under the journaled ID rather than re-allocating: the
+		// live inventory may have burned IDs that no record captured
+		// (an add rolled back on journal failure), and replay must
+		// still land every node exactly where consumers recorded it.
+		return d.planner.Inventory().RestoreAdd(cluster.Node{
+			Name: rec.Node.Name, CPUMHz: rec.Node.CPUMHz, MemMB: rec.Node.MemMB,
+		}, cluster.NodeID(rec.Node.ID))
+	case store.OpDrainNode:
+		_, err := d.planner.Inventory().Drain(rec.Name)
+		return err
+	case store.OpFailNode:
+		d.applyFailNode(rec.Name, rec.Time)
+		return nil
+	case store.OpRemoveNode:
+		n, ok := d.planner.Inventory().ByName(rec.Name)
+		if !ok {
+			return fmt.Errorf("unknown node %q", rec.Name)
+		}
+		return d.planner.RemoveNode(n.ID)
+	case store.OpCycle:
+		if rec.Cycle == nil {
+			return fmt.Errorf("missing cycle payload")
+		}
+		return d.applyCycleLocked(rec.Cycle)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// applyCycleLocked re-applies one journaled control cycle: job runtime
+// states, retirements, rates, carried placements, counters, and the
+// published placement snapshot.
+func (d *Daemon) applyCycleLocked(cr *store.CycleRecord) error {
+	byName := make(map[string]int, len(d.jobs))
+	for i, j := range d.jobs {
+		byName[j.Spec.Name] = i
+	}
+	for _, js := range cr.Jobs {
+		i, ok := byName[js.Name]
+		if !ok {
+			return fmt.Errorf("cycle %d: unknown job %q", cr.Cycle, js.Name)
+		}
+		j, err := scheduler.RestoreJob(d.jobs[i].Spec, js.JobState)
+		if err != nil {
+			return err
+		}
+		d.jobs[i] = j
+	}
+	for _, res := range cr.Completed {
+		i, ok := byName[res.Name]
+		if !ok {
+			return fmt.Errorf("cycle %d: unknown completed job %q", cr.Cycle, res.Name)
+		}
+		d.jobs[i] = nil
+		d.completed.Push(res)
+	}
+	if len(cr.Completed) > 0 {
+		keep := d.jobs[:0]
+		for _, j := range d.jobs {
+			if j != nil {
+				keep = append(keep, j)
+			}
+		}
+		d.jobs = keep
+	}
+	for _, w := range cr.Web {
+		d.planner.SetArrivalRate(w.Name, w.ArrivalRate)
+		d.planner.RestoreWebPlacement(w.Name, intNodeIDs(w.Nodes))
+	}
+	for name, v := range cr.Actions {
+		d.actions.Set(name, v)
+	}
+	if cr.Infeasible {
+		d.planner.RestoreInfeasibleCycles(d.planner.InfeasibleCycles() + 1)
+	}
+	d.cycles.Store(cr.Cycle)
+	return d.restorePlacementLocked(cr.Placement)
+}
+
+// Durability reports the daemon's durable-state status — the GET /state
+// body, also embedded in /metrics.
+func (d *Daemon) Durability() DurabilityView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.durabilityLocked()
+}
+
+func (d *Daemon) durabilityLocked() DurabilityView {
+	v := DurabilityView{
+		Enabled:    d.store != nil,
+		Recovering: d.recovering.Load(),
+		SystemMetrics: dynplace.SystemMetrics{
+			UptimeCycles:          d.cycles.Load() - d.baseCycles,
+			Restarts:              int(d.restarts.Load()),
+			ReplayDurationSeconds: d.replayDuration.Seconds(),
+		},
+		ReplayedRecords: d.replayedRecords,
+		Cycles:          d.cycles.Load(),
+		SnapshotEvery:   d.snapshotEvery,
+		WALErrors:       d.walErrors,
+	}
+	if d.store != nil {
+		v.Store = d.store.Info()
+	}
+	return v
+}
+
+// appSpecOf rebuilds the public spec of a registered app, with its
+// current arrival rate, for journaling. Load schedules are carried
+// separately (AppState.Schedule) with absolute phase times.
+func appSpecOf(w *txn.App) dynplace.WebAppSpec {
+	return dynplace.WebAppSpec{
+		Name:             w.Name,
+		ArrivalRate:      w.ArrivalRate,
+		DemandPerRequest: w.DemandPerRequest,
+		BaseLatency:      w.BaseLatency,
+		GoalResponseTime: w.GoalResponseTime,
+		MaxPowerMHz:      w.MaxPowerMHz,
+		MemoryMB:         w.MemoryMB,
+		AntiCollocate:    append([]string(nil), w.AntiCollocate...),
+		GoalPercentile:   w.GoalPercentile,
+	}
+}
+
+// jobSpecOf rebuilds the public spec of a compiled job, with absolute
+// times and the full stage profile, for journaling.
+func jobSpecOf(s *batch.Spec) dynplace.JobSpec {
+	js := dynplace.JobSpec{
+		Name:          s.Name,
+		Submit:        s.Submit,
+		DesiredStart:  s.DesiredStart,
+		Deadline:      s.Deadline,
+		AntiCollocate: append([]string(nil), s.AntiCollocate...),
+		Stages:        make([]dynplace.Stage, len(s.Stages)),
+	}
+	for i, st := range s.Stages {
+		js.Stages[i] = dynplace.Stage{
+			WorkMcycles: st.WorkMcycles,
+			MaxSpeedMHz: st.MaxSpeedMHz,
+			MinSpeedMHz: st.MinSpeedMHz,
+			MemoryMB:    st.MemoryMB,
+		}
+	}
+	return js
+}
+
+func nodeIDInts(ids []cluster.NodeID) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func intNodeIDs(ids []int) []cluster.NodeID {
+	out := make([]cluster.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = cluster.NodeID(id)
+	}
+	return out
+}

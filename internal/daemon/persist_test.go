@@ -1,0 +1,390 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dynplace"
+	"dynplace/internal/cluster"
+	"dynplace/internal/store"
+)
+
+// newDurableDaemon builds a daemon journaling into dir under a SimClock.
+func newDurableDaemon(t *testing.T, dir string) (*Daemon, *SimClock) {
+	t.Helper()
+	cl, err := cluster.Uniform(3, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewSimClock()
+	d, err := New(Config{
+		Cluster:       cl,
+		CycleSeconds:  60,
+		Costs:         cluster.FreeCostModel(),
+		Clock:         clock,
+		History:       64,
+		Store:         st,
+		SnapshotEvery: -1, // WAL-only unless the test snapshots
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d, clock
+}
+
+func loadWorkload(t *testing.T, d *Daemon) {
+	t.Helper()
+	if err := d.AddWebApp(dynplace.WebAppSpec{
+		Name: "shop", ArrivalRate: 20, DemandPerRequest: 50,
+		GoalResponseTime: 0.25, MemoryMB: 800,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"etl", "report"} {
+		if err := d.SubmitJob(dynplace.JobSpec{
+			Name: name, WorkMcycles: 600000, MaxSpeedMHz: 3000,
+			MemoryMB: 1000, Deadline: 7200,
+		}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func placementJSON(t *testing.T, d *Daemon) []byte {
+	t.Helper()
+	raw, err := json.Marshal(d.Placement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestKillRestartPlacementRoundTrip is the acceptance test for the
+// durable store: run cycles, abandon the daemon without any graceful
+// shutdown (the kill -9 case — only the fsync'd WAL survives), recover
+// a fresh daemon from the same state dir, and require GET /placement to
+// be byte-identical, with every app, job (CompletedWork intact) and the
+// inventory at its recorded version.
+func TestKillRestartPlacementRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if _, err := d.AddNode("spare", 2500, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(200) // a few cycles of progress
+	d.Stop()           // kill: no snapshot, no flush beyond per-record fsync
+
+	before := d.Placement()
+	beforeRaw := placementJSON(t, d)
+	invVersion := d.planner.Inventory().Version()
+	if before.Cycle == 0 || len(before.Jobs) == 0 {
+		t.Fatalf("pre-kill placement not established: %+v", before)
+	}
+	var doneBefore float64
+	for _, j := range before.Jobs {
+		doneBefore += j.DoneMcycles
+	}
+	if doneBefore <= 0 {
+		t.Fatal("no job progress accrued before the kill")
+	}
+
+	d2, clock2 := newDurableDaemon(t, dir)
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := placementJSON(t, d2); !bytes.Equal(got, beforeRaw) {
+		t.Fatalf("placement diverged across kill/replay:\npre:  %s\npost: %s", beforeRaw, got)
+	}
+	if v := d2.planner.Inventory().Version(); v != invVersion {
+		t.Fatalf("inventory version = %d, want %d", v, invVersion)
+	}
+	if now := d2.Now(); now < before.Time {
+		t.Fatalf("virtual time went backwards: %v < %v", now, before.Time)
+	}
+	dur := d2.Durability()
+	if dur.Restarts != 1 || dur.ReplayedRecords == 0 {
+		t.Fatalf("durability after recover = %+v", dur)
+	}
+	if dur.Store.SnapshotSeq == 0 {
+		t.Fatal("boot compaction did not write a snapshot")
+	}
+
+	// Jobs that were running when the process died are rescued: they
+	// resume from their recorded progress, are re-placed on the next
+	// cycle, and the involuntary move is counted in Rescues.
+	if err := d2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock2.Advance(60)
+	after := d2.Placement()
+	rescues := 0
+	for _, res := range d2.JobResults() {
+		rescues += res.Rescues
+	}
+	if rescues == 0 {
+		t.Fatalf("no rescues counted after restart; jobs = %+v", after.Jobs)
+	}
+	var doneAfter float64
+	for _, j := range after.Jobs {
+		doneAfter += j.DoneMcycles
+	}
+	if doneAfter < doneBefore {
+		t.Fatalf("completed work regressed: %v < %v", doneAfter, doneBefore)
+	}
+}
+
+// TestGracefulShutdownCompacts checks Shutdown's final snapshot: a
+// recover from a cleanly shut down state dir replays zero WAL records.
+func TestGracefulShutdownCompacts(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(120)
+	beforeRaw := placementJSON(t, d)
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// A journaled mutation after Shutdown must be refused, not silently
+	// applied in memory only.
+	if err := d.SubmitJob(dynplace.JobSpec{
+		Name: "late", WorkMcycles: 1, MaxSpeedMHz: 1, MemoryMB: 1, Deadline: 9999,
+	}, false); err == nil {
+		t.Fatal("mutation accepted after Shutdown")
+	}
+
+	d2, _ := newDurableDaemon(t, dir)
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	dur := d2.Durability()
+	if dur.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records after graceful shutdown, want 0", dur.ReplayedRecords)
+	}
+	if got := placementJSON(t, d2); !bytes.Equal(got, beforeRaw) {
+		t.Fatalf("placement diverged across graceful restart:\npre:  %s\npost: %s", beforeRaw, got)
+	}
+}
+
+// TestRecoveryReplaysEveryMutationClass drives every journaled op —
+// app add/remove/load, job submit, node add/drain/fail/remove — then
+// kills and recovers, checking the reconstructed registry.
+func TestRecoveryReplaysEveryMutationClass(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if err := d.AddWebApp(dynplace.WebAppSpec{
+		Name: "ads", ArrivalRate: 5, DemandPerRequest: 30,
+		GoalResponseTime: 0.5, MemoryMB: 400,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(120)
+	if err := d.RemoveWebApp("ads"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetArrivalRate("shop", 35); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddNode("spare-a", 2500, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddNode("spare-b", 2500, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DrainNode("spare-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60)
+	d.Stop()
+	wantStates := d.planner.Inventory().Counts()
+	wantVersion := d.planner.Inventory().Version()
+
+	d2, _ := newDurableDaemon(t, dir)
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.WebAppNames(); len(got) != 1 || got[0] != "shop" {
+		t.Fatalf("apps = %v, want [shop]", got)
+	}
+	if app, ok := d2.planner.WebApp("shop"); !ok || app.ArrivalRate != 35 {
+		t.Fatalf("shop arrival rate not recovered: %+v", app)
+	}
+	gotStates := d2.planner.Inventory().Counts()
+	if d2.planner.Inventory().Version() != wantVersion {
+		t.Fatalf("inventory version = %d, want %d", d2.planner.Inventory().Version(), wantVersion)
+	}
+	for k, v := range wantStates {
+		if gotStates[k] != v {
+			t.Fatalf("node states = %v, want %v", gotStates, wantStates)
+		}
+	}
+	// node-2's ID must stay retired after recovery: a fresh node gets a
+	// higher ID, never the removed one.
+	name, err := d2.AddNode("", 1000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d2.planner.Inventory().ByName(name)
+	if int(n.ID) <= 4 { // 3 seed nodes + 2 spares occupied IDs 0..4
+		t.Fatalf("recycled node ID %d for %q", n.ID, name)
+	}
+}
+
+// TestHealthRecoveringState: the health endpoint must advertise
+// "recovering" while replay is rebuilding state, and clear it after.
+func TestHealthRecoveringState(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60)
+	d.Stop()
+
+	d2, _ := newDurableDaemon(t, dir)
+	d2.recovering.Store(true) // what Recover holds while replaying
+	if got := d2.Health().Status; got != "recovering" {
+		t.Fatalf("health during replay = %q, want recovering", got)
+	}
+	d2.recovering.Store(false)
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Health(); got.Status == "recovering" || got.Restarts != 1 {
+		t.Fatalf("health after recover = %+v", got)
+	}
+}
+
+// TestPeriodicSnapshotBoundsWAL: with SnapshotEvery set, the WAL is
+// rotated on cadence and recovery replays only the records after the
+// last snapshot.
+func TestPeriodicSnapshotBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewSimClock()
+	d, err := New(Config{
+		Cluster: cl, CycleSeconds: 60, Costs: cluster.FreeCostModel(),
+		Clock: clock, Store: st, SnapshotEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	loadWorkload(t, d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60 * 7) // cycles 1..8 → snapshots at 3 and 6
+	d.Stop()
+	info := st.Info()
+	if info.SnapshotSeq == 0 {
+		t.Fatal("no periodic snapshot written")
+	}
+	beforeRaw := placementJSON(t, d)
+
+	d2, _ := newDurableDaemon(t, dir)
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	dur := d2.Durability()
+	if dur.ReplayedRecords == 0 || dur.ReplayedRecords >= 8 {
+		t.Fatalf("replayed %d records, want only the post-snapshot tail", dur.ReplayedRecords)
+	}
+	if got := placementJSON(t, d2); !bytes.Equal(got, beforeRaw) {
+		t.Fatalf("placement diverged across snapshot+tail recovery:\npre:  %s\npost: %s", beforeRaw, got)
+	}
+	if d2.Metrics().UptimeCycles != 0 {
+		t.Fatalf("uptime cycles = %d before first post-restart cycle", d2.Metrics().UptimeCycles)
+	}
+	if d2.Metrics().Cycles != d.cycles.Load() {
+		t.Fatalf("lifetime cycles = %d, want %d", d2.Metrics().Cycles, d.cycles.Load())
+	}
+}
+
+// TestStateEndpoints exercises GET /state and POST /state/snapshot over
+// HTTP, including the 409 for a memory-only daemon.
+func TestStateEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	status, body := do(t, "GET", srv.URL+"/state", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /state = %d: %s", status, body)
+	}
+	var dur DurabilityView
+	if err := json.Unmarshal(body, &dur); err != nil {
+		t.Fatal(err)
+	}
+	if !dur.Enabled || dur.Store.Seq == 0 {
+		t.Fatalf("durability = %+v", dur)
+	}
+
+	status, body = do(t, "POST", srv.URL+"/state/snapshot", nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST /state/snapshot = %d: %s", status, body)
+	}
+	var info store.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotSeq == 0 || info.WALRecords != 0 {
+		t.Fatalf("snapshot info = %+v, want compacted WAL", info)
+	}
+
+	// A memory-only daemon refuses the snapshot request.
+	mem, _, memSrv := newTestDaemon(t)
+	_ = mem
+	status, _ = do(t, "POST", memSrv.URL+"/state/snapshot", nil)
+	if status != http.StatusConflict {
+		t.Fatalf("snapshot without store = %d, want 409", status)
+	}
+	status, body = do(t, "GET", memSrv.URL+"/state", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /state without store = %d", status)
+	}
+	if err := json.Unmarshal(body, &dur); err != nil {
+		t.Fatal(err)
+	}
+	if dur.Enabled {
+		t.Fatal("memory-only daemon reports durability enabled")
+	}
+}

@@ -1,8 +1,10 @@
 package daemon
 
 import (
+	"dynplace"
 	"dynplace/internal/router"
 	"dynplace/internal/shard"
+	"dynplace/internal/store"
 )
 
 // InstanceView is one placed instance of a web application, with the
@@ -112,12 +114,17 @@ type CycleSnapshot struct {
 }
 
 // HealthView is the GET /healthz body. Status is truthful about the
-// control loop: "ok" while cycles plan successfully, "degraded" while an
-// infeasible streak is active (the cluster cannot host the workload),
-// and "failing" when the most recent cycle errored for any other
-// reason. LastError carries the most recent cycle's error verbatim.
+// control loop: "recovering" while a WAL replay is rebuilding state
+// after a restart (load balancers must not route to the daemon yet),
+// "ok" while cycles plan successfully, "degraded" while an infeasible
+// streak is active (the cluster cannot host the workload), and
+// "failing" when the most recent cycle errored for any other reason.
+// LastError carries the most recent cycle's error verbatim.
 type HealthView struct {
-	Status       string  `json:"status"`
+	Status string `json:"status"`
+	// Restarts counts recoveries from the durable state store (0 when
+	// running from a fresh or absent state dir).
+	Restarts     int     `json:"restarts,omitempty"`
 	LastError    string  `json:"lastError,omitempty"`
 	Now          float64 `json:"now"`
 	CycleSeconds float64 `json:"cycleSeconds"`
@@ -151,4 +158,30 @@ type MetricsView struct {
 	// Shards is the latest cycle's per-zone stats when the daemon runs
 	// the sharded coordinator; absent in flat mode.
 	Shards []shard.Stats `json:"shards,omitempty"`
+	// SystemMetrics inlines the durability gauges shared with the public
+	// library API: uptimeCycles, restarts, replayDurationSeconds.
+	dynplace.SystemMetrics
+	// Durability is the full durable-state status (GET /state serves the
+	// same view); Enabled false means the daemon runs memory-only.
+	Durability DurabilityView `json:"durability"`
+}
+
+// DurabilityView is the GET /state body: whether a state store is
+// configured, the recovery trajectory (restarts, replay duration,
+// records replayed), and the store's compaction gauges (WAL size and
+// sequence, last snapshot). WALErrors counts journal appends that
+// failed — nonzero means acknowledged mutations may not survive a
+// crash and the state dir needs attention.
+type DurabilityView struct {
+	Enabled    bool `json:"enabled"`
+	Recovering bool `json:"recovering"`
+	dynplace.SystemMetrics
+	ReplayedRecords int `json:"replayedRecords"`
+	// Cycles is the lifetime cycle count (across restarts);
+	// SystemMetrics.UptimeCycles counts this process only.
+	Cycles        int64 `json:"cycles"`
+	SnapshotEvery int   `json:"snapshotEvery,omitempty"`
+	WALErrors     int   `json:"walErrors"`
+	// Store holds the state directory's gauges; zero when disabled.
+	Store store.Info `json:"store"`
 }

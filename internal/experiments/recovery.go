@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynplace"
+	"dynplace/internal/cluster"
+	"dynplace/internal/daemon"
+	"dynplace/internal/store"
+)
+
+// RecoverySweepOptions parameterizes the kill-and-restart sweep: a
+// mixed web+batch workload runs under a durable dynplaced daemon, the
+// process is killed mid-run (no graceful shutdown — only the fsync'd
+// WAL survives, exactly the kill -9 case), a fresh daemon recovers from
+// the state directory, and the sweep measures what the crash cost. The
+// contract under test is the ROADMAP's production restart story: batch
+// progress must resume rather than recompute (the co-location traces in
+// PAPERS.md restart controllers routinely), so zero lost jobs and a
+// bounded web-utility dip are hard requirements, not observations.
+type RecoverySweepOptions struct {
+	// Nodes is the cluster size (default 4; paper-spec nodes of
+	// 15.6 GHz / 16 GB).
+	Nodes int
+	// Jobs is the batch workload size (default 8).
+	Jobs int
+	// KillCycles lists the cycle numbers after which the daemon is
+	// killed, one sweep row each (default 2, 5).
+	KillCycles []int
+	// CycleSeconds is the control cycle T (default 60).
+	CycleSeconds float64
+	// Horizon ends the post-restart run (default 3600 virtual seconds).
+	Horizon float64
+	// SnapshotEvery is the compaction cadence in cycles (default 3, so
+	// later kill points exercise snapshot-plus-WAL-tail recovery, not
+	// just pure WAL replay).
+	SnapshotEvery int
+}
+
+// DefaultRecoverySweepOptions returns the benchmark's standard settings.
+func DefaultRecoverySweepOptions() RecoverySweepOptions {
+	return RecoverySweepOptions{
+		Nodes:         4,
+		Jobs:          8,
+		KillCycles:    []int{2, 5},
+		CycleSeconds:  60,
+		Horizon:       3600,
+		SnapshotEvery: 3,
+	}
+}
+
+// RecoverySweepRow is one kill point's measurement through the crash.
+type RecoverySweepRow struct {
+	// Nodes, Jobs and KillCycle give the scenario shape.
+	Nodes, Jobs, KillCycle int
+	// ReplayedRecords and Replay describe the recovery: WAL records
+	// applied on top of the last snapshot and how long replay took.
+	// WALBytesAtKill is the log size the crash left behind.
+	ReplayedRecords int
+	Replay          time.Duration
+	WALBytesAtKill  int64
+	// PlacementIntact reports that GET /placement immediately after
+	// replay was byte-identical to the pre-kill response.
+	PlacementIntact bool
+	// LostJobs counts jobs that never completed by the horizon (must be
+	// 0: recovery, not recomputation, is the contract); Rescues counts
+	// the involuntary re-placements of jobs that were running at the
+	// kill.
+	LostJobs, Rescues int
+	// DeadlineMisses counts completed jobs that blew their deadline;
+	// OnTimeRate is the complementary fraction over all jobs.
+	DeadlineMisses int
+	OnTimeRate     float64
+	// BaselineWebUtility is the web app's utility in the last pre-kill
+	// cycle; DipWebUtility the minimum after the restart;
+	// FinalWebUtility the value at the horizon; DipCycles how many
+	// post-restart cycles sat more than the dip tolerance below the
+	// baseline.
+	BaselineWebUtility, DipWebUtility, FinalWebUtility float64
+	DipCycles                                          int
+	// Elapsed is the wall-clock cost of the simulated run.
+	Elapsed time.Duration
+}
+
+// RunRecoverySweep runs one kill-and-restart scenario per kill cycle.
+func RunRecoverySweep(opts RecoverySweepOptions) ([]RecoverySweepRow, error) {
+	def := DefaultRecoverySweepOptions()
+	if opts.Nodes <= 0 {
+		opts.Nodes = def.Nodes
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = def.Jobs
+	}
+	if len(opts.KillCycles) == 0 {
+		opts.KillCycles = def.KillCycles
+	}
+	if opts.CycleSeconds <= 0 {
+		opts.CycleSeconds = def.CycleSeconds
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = def.Horizon
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = def.SnapshotEvery
+	}
+	rows := make([]RecoverySweepRow, 0, len(opts.KillCycles))
+	for _, kill := range opts.KillCycles {
+		if kill <= 0 || float64(kill)*opts.CycleSeconds >= opts.Horizon {
+			return nil, fmt.Errorf("recovery sweep: kill cycle %d outside the horizon", kill)
+		}
+		row, err := runRecoveryScenario(opts, kill)
+		if err != nil {
+			return nil, fmt.Errorf("recovery sweep (kill at cycle %d): %w", kill, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// newRecoveryDaemon builds one durable daemon generation over dir.
+func newRecoveryDaemon(opts RecoverySweepOptions, dir string) (*daemon.Daemon, *daemon.SimClock, error) {
+	cl, err := cluster.Uniform(opts.Nodes, 15600, 16384)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	clock := daemon.NewSimClock()
+	d, err := daemon.New(daemon.Config{
+		Cluster:       cl,
+		CycleSeconds:  opts.CycleSeconds,
+		Costs:         cluster.DefaultCostModel(),
+		Clock:         clock,
+		Store:         st,
+		SnapshotEvery: opts.SnapshotEvery,
+	})
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return d, clock, err
+}
+
+func runRecoveryScenario(opts RecoverySweepOptions, kill int) (RecoverySweepRow, error) {
+	dir, err := os.MkdirTemp("", "dynplace-recovery-*")
+	if err != nil {
+		return RecoverySweepRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	begin := time.Now()
+	d, clock, err := newRecoveryDaemon(opts, dir)
+	if err != nil {
+		return RecoverySweepRow{}, err
+	}
+	if err := d.AddWebApp(dynplace.WebAppSpec{
+		Name: "web", ArrivalRate: 150, DemandPerRequest: 120,
+		BaseLatency: 0.04, GoalResponseTime: 0.25,
+		MaxPowerMHz: 30000, MemoryMB: 2000,
+	}, false); err != nil {
+		return RecoverySweepRow{}, err
+	}
+	for j := 0; j < opts.Jobs; j++ {
+		// ~1000 s of work at full speed against a generous deadline: a
+		// recovery that loses progress, not the schedule, decides the
+		// misses.
+		if err := d.SubmitJob(dynplace.JobSpec{
+			Name: fmt.Sprintf("job-%d", j), WorkMcycles: 3.9e6,
+			MaxSpeedMHz: 3900, MemoryMB: 4320, Deadline: opts.Horizon * 5 / 6,
+		}, false); err != nil {
+			return RecoverySweepRow{}, err
+		}
+	}
+	if err := d.Start(); err != nil {
+		return RecoverySweepRow{}, err
+	}
+	// The first cycle fires at t=0, so cycle N has run once time reaches
+	// (N-1)*T; killing there leaves cycle N as the last journaled one.
+	clock.Advance(float64(kill-1) * opts.CycleSeconds)
+	d.Stop() // the kill: no snapshot, no flush beyond per-record fsync
+
+	row := RecoverySweepRow{Nodes: opts.Nodes, Jobs: opts.Jobs, KillCycle: kill}
+	preSnap := d.Placement()
+	row.BaselineWebUtility = webUtilityOf(preSnap)
+	preRaw, err := json.Marshal(preSnap)
+	if err != nil {
+		return row, err
+	}
+	row.WALBytesAtKill = d.Durability().Store.WALBytes
+
+	// Second generation: recover from the state dir and run to the
+	// horizon.
+	d2, clock2, err := newRecoveryDaemon(opts, dir)
+	if err != nil {
+		return row, err
+	}
+	if err := d2.Recover(); err != nil {
+		return row, err
+	}
+	postRaw, err := json.Marshal(d2.Placement())
+	if err != nil {
+		return row, err
+	}
+	row.PlacementIntact = bytes.Equal(preRaw, postRaw)
+	dur := d2.Durability()
+	row.ReplayedRecords = dur.ReplayedRecords
+	row.Replay = time.Duration(dur.ReplayDurationSeconds * float64(time.Second))
+	if err := d2.Start(); err != nil {
+		return row, err
+	}
+	// Advance by the daemon's resumed virtual time, not the raw
+	// SimClock's: recovery installed an offset clock, so d2.Now() sits
+	// at the kill instant while clock2.Now() restarted at zero — the
+	// horizon must bound absolute virtual time or the deadline
+	// assertions would get killTime of free slack.
+	clock2.Advance(opts.Horizon - d2.Now())
+	d2.Stop()
+
+	row.DipWebUtility = row.BaselineWebUtility
+	for _, c := range d2.Metrics().History {
+		u, ok := c.WebUtilities["web"]
+		if !ok {
+			continue
+		}
+		if u < row.DipWebUtility {
+			row.DipWebUtility = u
+		}
+		if u < row.BaselineWebUtility-dipTolerance {
+			row.DipCycles++
+		}
+		row.FinalWebUtility = u
+	}
+	met := 0
+	for _, res := range d2.JobResults() {
+		row.Rescues += res.Rescues
+		switch {
+		case !res.Completed:
+			row.LostJobs++
+		case res.MetGoal:
+			met++
+		default:
+			row.DeadlineMisses++
+		}
+	}
+	row.OnTimeRate = float64(met) / float64(opts.Jobs)
+	row.Elapsed = time.Since(begin)
+	return row, nil
+}
+
+func webUtilityOf(snap *daemon.PlacementSnapshot) float64 {
+	for _, w := range snap.Web {
+		if w.Name == "web" {
+			return w.Utility
+		}
+	}
+	return 0
+}
+
+// RecoverySweepTable formats the sweep for the benchmark log and the CI
+// artifact.
+func RecoverySweepTable(rows []RecoverySweepRow) string {
+	var b strings.Builder
+	b.WriteString("Recovery sweep — kill -9 mid-run, replay WAL+snapshot, resume batch progress\n")
+	b.WriteString("  nodes  jobs  kill@  replayed  replay     wal-B  intact  rescues  lost  misses  web-base  web-dip  ontime\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %5d  %4d  %5d  %8d  %7s  %8d  %6v  %7d  %4d  %6d  %8.3f  %7.3f  %5.1f%%\n",
+			r.Nodes, r.Jobs, r.KillCycle, r.ReplayedRecords,
+			r.Replay.Round(time.Microsecond), r.WALBytesAtKill, r.PlacementIntact,
+			r.Rescues, r.LostJobs, r.DeadlineMisses,
+			r.BaselineWebUtility, r.DipWebUtility, 100*r.OnTimeRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoverySweepContract runs a small kill-and-restart scenario and
+// enforces the durability contract: placement identical across the
+// crash, every job completed (zero lost), and the running jobs rescued.
+func TestRecoverySweepContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep in -short mode")
+	}
+	opts := RecoverySweepOptions{
+		Nodes:        2,
+		Jobs:         3,
+		KillCycles:   []int{2, 4},
+		CycleSeconds: 60,
+		Horizon:      3000,
+		// Cadence 2 makes the second kill exercise snapshot+tail replay.
+		SnapshotEvery: 2,
+	}
+	rows, err := RunRecoverySweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.PlacementIntact {
+			t.Errorf("kill@%d: placement diverged across the crash", r.KillCycle)
+		}
+		if r.LostJobs != 0 {
+			t.Errorf("kill@%d: %d jobs lost", r.KillCycle, r.LostJobs)
+		}
+		if r.Rescues == 0 {
+			t.Errorf("kill@%d: no rescues counted for jobs running at the kill", r.KillCycle)
+		}
+		if r.DipWebUtility < r.BaselineWebUtility-0.25 {
+			t.Errorf("kill@%d: web utility dipped to %.3f from %.3f",
+				r.KillCycle, r.DipWebUtility, r.BaselineWebUtility)
+		}
+		if r.FinalWebUtility < r.BaselineWebUtility-dipTolerance {
+			t.Errorf("kill@%d: web utility never recovered: %.3f vs baseline %.3f",
+				r.KillCycle, r.FinalWebUtility, r.BaselineWebUtility)
+		}
+	}
+	// The second kill point must actually have compacted: fewer records
+	// than cycles elapsed.
+	if rows[1].ReplayedRecords >= 4+4 {
+		t.Errorf("kill@4 replayed %d records; snapshot cadence 2 did not compact", rows[1].ReplayedRecords)
+	}
+	table := RecoverySweepTable(rows)
+	if !strings.Contains(table, "kill@") || !strings.Contains(table, "ontime") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestRecoverySweepRejectsBadKillCycle(t *testing.T) {
+	if _, err := RunRecoverySweep(RecoverySweepOptions{
+		KillCycles: []int{100}, CycleSeconds: 60, Horizon: 600,
+	}); err == nil {
+		t.Fatal("kill cycle past the horizon accepted")
+	}
+}

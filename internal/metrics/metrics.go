@@ -271,6 +271,10 @@ func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
 // Inc adds n to the named count.
 func (c *Counter) Inc(name string, n int) { c.counts[name] += n }
 
+// Set overwrites the named count — used when restoring lifetime totals
+// from a recovered snapshot.
+func (c *Counter) Set(name string, n int) { c.counts[name] = n }
+
 // Get returns the named count.
 func (c *Counter) Get(name string) int { return c.counts[name] }
 

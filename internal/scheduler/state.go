@@ -1,0 +1,93 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+)
+
+// JobState is the stable serialized form of a Job's mutable runtime
+// state, used by the daemon's durable store. Field names and the status
+// strings are part of the on-disk schema: a job restored from a
+// JobState resumes exactly where it left off, accumulated progress and
+// action counters (CompletedWork, Rescues, ...) intact.
+type JobState struct {
+	Status string  `json:"status"`
+	Done   float64 `json:"doneMcycles"`
+	// Node and LastNode are inventory node IDs (-1 = none).
+	Node         int     `json:"node"`
+	LastNode     int     `json:"lastNode"`
+	SpeedMHz     float64 `json:"speedMHz,omitempty"`
+	Started      bool    `json:"started,omitempty"`
+	CompletedAt  float64 `json:"completedAt,omitempty"`
+	BlockedUntil float64 `json:"blockedUntil,omitempty"`
+	Evicted      bool    `json:"evicted,omitempty"`
+	Starts       int     `json:"starts,omitempty"`
+	Suspends     int     `json:"suspends,omitempty"`
+	Resumes      int     `json:"resumes,omitempty"`
+	Migrations   int     `json:"migrations,omitempty"`
+	Rescues      int     `json:"rescues,omitempty"`
+	// LastAdvance is the virtual instant progress was last credited to —
+	// without it a restored running job would double-credit (or lose)
+	// the time between its last cycle and the restore.
+	LastAdvance float64 `json:"lastAdvance"`
+}
+
+// State captures the job's runtime state for serialization.
+func (j *Job) State() JobState {
+	return JobState{
+		Status:       j.Status.String(),
+		Done:         j.Done,
+		Node:         int(j.Node),
+		LastNode:     int(j.LastNode),
+		SpeedMHz:     j.SpeedMHz,
+		Started:      j.Started,
+		CompletedAt:  j.CompletedAt,
+		BlockedUntil: j.BlockedUntil,
+		Evicted:      j.Evicted,
+		Starts:       j.Starts,
+		Suspends:     j.Suspends,
+		Resumes:      j.Resumes,
+		Migrations:   j.Migrations,
+		Rescues:      j.Rescues,
+		LastAdvance:  j.lastAdvance,
+	}
+}
+
+// ParseStatus inverts Status.String for deserialization.
+func ParseStatus(s string) (Status, error) {
+	for _, st := range []Status{Pending, Running, Paused, Suspended, Completed} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("scheduler: unknown job status %q", s)
+}
+
+// RestoreJob rebuilds a runtime job record from its spec and a
+// serialized state.
+func RestoreJob(spec *batch.Spec, st JobState) (*Job, error) {
+	status, err := ParseStatus(st.Status)
+	if err != nil {
+		return nil, fmt.Errorf("job %q: %w", spec.Name, err)
+	}
+	return &Job{
+		Spec:         spec,
+		Status:       status,
+		Done:         st.Done,
+		Node:         cluster.NodeID(st.Node),
+		LastNode:     cluster.NodeID(st.LastNode),
+		SpeedMHz:     st.SpeedMHz,
+		Started:      st.Started,
+		CompletedAt:  st.CompletedAt,
+		BlockedUntil: st.BlockedUntil,
+		Evicted:      st.Evicted,
+		Starts:       st.Starts,
+		Suspends:     st.Suspends,
+		Resumes:      st.Resumes,
+		Migrations:   st.Migrations,
+		Rescues:      st.Rescues,
+		lastAdvance:  st.LastAdvance,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dynplace/internal/batch"
+)
+
+// TestJobStateRoundTrip drives a job through start, progress, and an
+// eviction, serializes it through JSON (as the durable store does), and
+// checks the restored job resumes identically — including the
+// unexported progress clock, counters, and completed work.
+func TestJobStateRoundTrip(t *testing.T) {
+	spec := batch.SingleStage("j", 6000, 3000, 512, 0, 3600)
+	j := NewJob(spec)
+	j.Status = Running
+	j.Node = 2
+	j.SpeedMHz = 1500
+	j.Started = true
+	j.Starts = 1
+	j.AdvanceTo(2) // 3000 Mcycles done
+	j.Evict()
+
+	data, err := json.Marshal(j.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreJob(spec, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != Suspended || !got.Evicted || got.Done != 3000 ||
+		got.LastNode != 2 || got.Node != NoNode || got.Suspends != 1 || got.Starts != 1 {
+		t.Fatalf("restored job = %+v", got)
+	}
+	if got.lastAdvance != j.lastAdvance {
+		t.Fatalf("lastAdvance = %v, want %v", got.lastAdvance, j.lastAdvance)
+	}
+	// The restored job keeps progressing from exactly where it stopped.
+	got.Status = Running
+	got.Node = 1
+	got.SpeedMHz = 3000
+	got.AdvanceTo(3)
+	if got.Status != Completed || got.Done != 6000 {
+		t.Fatalf("after resume: status=%v done=%v", got.Status, got.Done)
+	}
+}
+
+func TestRestoreJobRejectsUnknownStatus(t *testing.T) {
+	spec := batch.SingleStage("j", 100, 100, 10, 0, 10)
+	if _, err := RestoreJob(spec, JobState{Status: "exploded"}); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+}
+
+func TestParseStatusCoversAllStates(t *testing.T) {
+	for _, st := range []Status{Pending, Running, Paused, Suspended, Completed} {
+		got, err := ParseStatus(st.String())
+		if err != nil || got != st {
+			t.Fatalf("ParseStatus(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+}
