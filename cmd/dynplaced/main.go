@@ -20,9 +20,10 @@
 // /state/snapshot compacts on demand.
 //
 // /healthz reports the control loop's real state: "recovering" while a
-// boot-time replay is rebuilding state, "ok", "degraded" while
-// placement is infeasible (e.g. after losing too many nodes), or
-// "failing" when cycles error, with the last error attached.
+// boot-time replay is rebuilding state (mutating endpoints answer 503
+// until it completes), "ok", "degraded" while placement is infeasible
+// (e.g. after losing too many nodes), or "failing" when cycles error,
+// with the last error attached.
 //
 // Example:
 //
@@ -133,7 +134,9 @@ func main() {
 	}
 	// Serve before recovering so /healthz can answer "recovering" while
 	// the replay rebuilds state — load balancers keep traffic away
-	// instead of timing out.
+	// instead of timing out. The daemon refuses mutating requests with
+	// 503 until Recover completes, so a request routed early cannot be
+	// acknowledged and then wiped by the replay.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	if st != nil {

@@ -207,6 +207,20 @@ func (v *Inventory) RestoreAdd(n Node, id NodeID) error {
 	return nil
 }
 
+// RestoreVersion fast-forwards the version counter to a journaled value
+// during recovery replay. Live mutation can burn increments no record
+// captures (an add rolled back on journal failure bumps the version
+// twice), so replay resynchronizes from versions recorded alongside the
+// ops. Values at or below the current version are ignored — the counter
+// never moves backwards.
+func (v *Inventory) RestoreVersion(ver int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ver > v.version {
+		v.version = ver
+	}
+}
+
 // Drain marks the named node as draining: it stops accepting placements
 // and the controller migrates its work off at the next cycle. Draining a
 // node that is already draining is a no-op; draining a failed node is an

@@ -259,9 +259,15 @@ func (d *Daemon) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	info, err := d.SnapshotNow()
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrDaemon) {
+		switch {
+		case errors.Is(err, ErrDaemon):
 			// No store configured: the request is wrong, not the daemon.
 			status = http.StatusConflict
+		case errors.Is(err, ErrRecovering), errors.Is(err, ErrStore):
+			// Recovery pending (a snapshot now would stamp the empty
+			// in-memory state over the durable history) or the state dir
+			// is failing: a durability outage, not a bad request.
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return
@@ -278,9 +284,10 @@ func statusFor(err error) int {
 	case errors.Is(err, dynplace.ErrBadSpec), errors.Is(err, ErrDaemon),
 		errors.Is(err, control.ErrBadConfig), errors.Is(err, cluster.ErrBadNode):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrStore):
-		// The state dir is failing, not the request: 503 so clients and
-		// alerting treat it as a server-side durability outage.
+	case errors.Is(err, ErrStore), errors.Is(err, ErrRecovering):
+		// The state dir is failing (or still being replayed), not the
+		// request: 503 so clients and load balancers retry elsewhere
+		// instead of having a mutation acknowledged and then wiped.
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError

@@ -130,12 +130,19 @@ type Daemon struct {
 
 	// cycles and placement are written under mu but read lock-free so
 	// /healthz and /placement never wait out an optimization pass;
-	// recovering and restarts are lock-free for the same reason (the
-	// health endpoint reports "recovering" while replay holds mu).
+	// recovering, recovered and restarts are lock-free for the same
+	// reason (the health endpoint reports "recovering" while replay
+	// holds mu).
 	cycles     atomic.Int64
 	placement  atomic.Pointer[PlacementSnapshot]
 	recovering atomic.Bool
-	restarts   atomic.Int64
+	// recovered gates mutations on a durable daemon: until Recover has
+	// completed, accepting a mutation would journal and acknowledge it,
+	// then the replay would wipe it from memory and the boot compaction
+	// would drop it from disk. It is true from construction when no
+	// store is configured.
+	recovered atomic.Bool
+	restarts  atomic.Int64
 }
 
 // clock returns the active time source.
@@ -188,6 +195,7 @@ func New(cfg Config) (*Daemon, error) {
 		history:       metrics.NewRing[CycleSnapshot](cfg.History),
 	}
 	d.setClock(cfg.Clock)
+	d.recovered.Store(cfg.Store == nil)
 	if cfg.SnapshotEvery > 0 {
 		d.snapshotEvery = cfg.SnapshotEvery
 	}
@@ -204,6 +212,9 @@ func New(cfg Config) (*Daemon, error) {
 func (d *Daemon) Start() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	if d.running {
 		return fmt.Errorf("%w: already started", ErrDaemon)
 	}
@@ -252,7 +263,6 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 	if err != nil {
 		return err
 	}
-	now := d.clock().Now()
 	phases := append([]dynplace.LoadPhase(nil), spec.LoadSchedule...)
 	for _, ph := range phases {
 		// Rate 0 is a valid ramp-to-idle phase; only negative rates are
@@ -261,13 +271,19 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 			return fmt.Errorf("%w: load phase arrival rate must be nonnegative", ErrDaemon)
 		}
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
+	// Read the clock under the lock: a read racing Recover's clock swap
+	// would anchor relative phase times at the pre-offset instant.
+	now := d.clock().Now()
 	if relative {
 		for i := range phases {
 			phases[i].Start += now
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.planner.WebApp(spec.Name); dup {
 		return fmt.Errorf("%w: duplicate web app %q", control.ErrBadConfig, spec.Name)
 	}
@@ -304,6 +320,9 @@ func (d *Daemon) applyAddApp(app *txn.App, phases []dynplace.LoadPhase) error {
 func (d *Daemon) RemoveWebApp(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	if _, ok := d.planner.WebApp(name); !ok {
 		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
 	}
@@ -327,6 +346,9 @@ func (d *Daemon) applyRemoveApp(name string) {
 func (d *Daemon) SetArrivalRate(name string, rate float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	// Rate 0 is valid: it quiesces the app ("no demand") without
 	// deregistering it, releasing its allocation at the next cycle.
 	if rate < 0 {
@@ -359,14 +381,20 @@ func (d *Daemon) SubmitJob(spec dynplace.JobSpec, relative bool) error {
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
+	// Read the clock under the lock: a read racing Recover's clock swap
+	// would anchor relative times at the pre-offset instant, journaling
+	// deadlines tens of thousands of virtual seconds in the past.
 	if relative {
 		now := d.clock().Now()
 		internal.Submit += now
 		internal.DesiredStart += now
 		internal.Deadline += now
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.jobSeen[internal.Name] {
 		return fmt.Errorf("%w: duplicate job %q", ErrDaemon, internal.Name)
 	}
@@ -428,9 +456,12 @@ func (d *Daemon) Health() HealthView {
 	snap := d.placement.Load()
 	status := "ok"
 	switch {
-	case d.recovering.Load():
-		// WAL replay in progress: state is still being rebuilt, so load
-		// balancers must not route here yet.
+	case !d.recovered.Load() || d.recovering.Load():
+		// Boot-time recovery pending or WAL replay in progress: state is
+		// still being rebuilt, so load balancers must not route here yet.
+		// The window opens as soon as the API starts serving — before
+		// Recover is even entered — and closes when replay completes;
+		// mutations attempted inside it are refused with 503.
 		status = "recovering"
 	case snap.Infeasible:
 		status = "degraded"
@@ -458,6 +489,9 @@ func (d *Daemon) Health() HealthView {
 func (d *Daemon) AddNode(name string, cpuMHz, memMB float64) (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return "", err
+	}
 	id, err := d.planner.AddNode(cluster.Node{Name: name, CPUMHz: cpuMHz, MemMB: memMB})
 	if err != nil {
 		return "", err
@@ -473,6 +507,7 @@ func (d *Daemon) AddNode(name string, cpuMHz, memMB float64) (string, error) {
 			ID: int(id), Name: n.Name, CPUMHz: cpuMHz, MemMB: memMB,
 			State: cluster.NodeActive.String(),
 		},
+		InventoryVersion: d.planner.Inventory().Version(),
 	}); err != nil {
 		_ = d.planner.RemoveNode(id)
 		return "", err
@@ -488,6 +523,9 @@ func (d *Daemon) AddNode(name string, cpuMHz, memMB float64) (string, error) {
 func (d *Daemon) DrainNode(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	inv := d.planner.Inventory()
 	n, ok := inv.ByName(name)
 	if !ok {
@@ -497,8 +535,15 @@ func (d *Daemon) DrainNode(name string) error {
 		// Drain would refuse below anyway; fail before journaling.
 		return fmt.Errorf("%w: cannot drain failed node %q", cluster.ErrBadNode, name)
 	}
+	// The record is journaled before the transition, so the post-op
+	// version is computed: Drain bumps only when the state changes.
+	ver := inv.Version()
+	if n.State != cluster.NodeDraining {
+		ver++
+	}
 	if err := d.journalLocked(store.Record{
 		Time: d.clock().Now(), Op: store.OpDrainNode, Name: name,
+		InventoryVersion: ver,
 	}); err != nil {
 		return err
 	}
@@ -516,13 +561,24 @@ func (d *Daemon) DrainNode(name string) error {
 func (d *Daemon) FailNode(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	inv := d.planner.Inventory()
-	if _, ok := inv.ByName(name); !ok {
+	n, ok := inv.ByName(name)
+	if !ok {
 		return fmt.Errorf("%w: unknown node %q", ErrNotFound, name)
 	}
 	now := d.clock().Now()
+	// Post-op version, journaled before the transition: Fail bumps only
+	// when the state changes.
+	ver := inv.Version()
+	if n.State != cluster.NodeFailed {
+		ver++
+	}
 	if err := d.journalLocked(store.Record{
 		Time: now, Op: store.OpFailNode, Name: name,
+		InventoryVersion: ver,
 	}); err != nil {
 		return err
 	}
@@ -585,6 +641,9 @@ func (d *Daemon) applyFailNode(name string, now float64) {
 func (d *Daemon) RemoveNode(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
 	inv := d.planner.Inventory()
 	n, ok := inv.ByName(name)
 	if !ok {
@@ -600,8 +659,10 @@ func (d *Daemon) RemoveNode(name string) error {
 				ErrDaemon, name, j.Spec.Name)
 		}
 	}
+	// Remove always bumps the version once; the record precedes the op.
 	if err := d.journalLocked(store.Record{
 		Time: d.clock().Now(), Op: store.OpRemoveNode, Name: name,
+		InventoryVersion: inv.Version() + 1,
 	}); err != nil {
 		return err
 	}

@@ -28,6 +28,27 @@ import (
 // ErrDaemon this is the server's fault and surfaces as HTTP 503.
 var ErrStore = errors.New("daemon: durable state store unavailable")
 
+// ErrRecovering reports a request received before boot-time recovery
+// completed. It surfaces as HTTP 503 so load balancers that routed
+// traffic early retry elsewhere instead of having the mutation
+// acknowledged and then silently wiped by the replay.
+var ErrRecovering = errors.New("daemon: recovering, durable state not rebuilt yet")
+
+// gateLocked refuses mutations (and the cycle loop) on a durable daemon
+// until Recover has run. A mutation accepted in that window would be
+// journaled at the WAL tail and acknowledged, then Recover would rebuild
+// memory from the records loaded at Open — which exclude it — and the
+// boot compaction would write a snapshot whose sequence covers it,
+// permanently dropping an acknowledged write. Recover on a fresh state
+// directory is a cheap no-op, so the gate costs callers nothing beyond
+// calling Recover before Start. Callers hold d.mu.
+func (d *Daemon) gateLocked() error {
+	if !d.recovered.Load() {
+		return fmt.Errorf("%w: call Recover before mutating a durable daemon", ErrRecovering)
+	}
+	return nil
+}
+
 // journalLocked appends one record to the WAL and fsyncs. It is a no-op
 // without a store or while Recover is re-applying history. Callers hold
 // d.mu; a non-nil error means the mutation must not be applied (or must
@@ -145,7 +166,10 @@ func (d *Daemon) writeSnapshotLocked() error {
 		return err
 	}
 	if err := d.store.WriteSnapshot(st); err != nil {
-		return err
+		// Wrap as a durability outage (503), matching journalLocked: a
+		// poisoned or failing state dir is the server's fault, and
+		// monitoring keys on 503 for it.
+		return fmt.Errorf("%w: snapshot: %v", ErrStore, err)
 	}
 	d.cfg.Logf("snapshot written: seq %d, %d bytes, t=%.1f",
 		d.store.Info().SnapshotSeq, d.store.Info().SnapshotBytes, st.Time)
@@ -157,6 +181,12 @@ func (d *Daemon) writeSnapshotLocked() error {
 func (d *Daemon) SnapshotNow() (store.Info, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Before Recover the in-memory state is empty while the store's
+	// sequence covers the loaded history: snapshotting now would stamp
+	// that emptiness over everything the WAL holds.
+	if err := d.gateLocked(); err != nil {
+		return store.Info{}, err
+	}
 	if err := d.writeSnapshotLocked(); err != nil {
 		return store.Info{}, err
 	}
@@ -172,6 +202,13 @@ func (d *Daemon) Shutdown() error {
 	defer d.mu.Unlock()
 	if d.store == nil {
 		return nil
+	}
+	if !d.recovered.Load() {
+		// Shut down before Recover ever ran (e.g. a SIGTERM during a slow
+		// boot): the in-memory state is empty, so a final snapshot would
+		// overwrite the durable history. Close without compacting — the
+		// state dir still holds everything the previous generation wrote.
+		return d.store.Close()
 	}
 	serr := d.writeSnapshotLocked()
 	cerr := d.store.Close()
@@ -199,7 +236,10 @@ func (d *Daemon) Recover() error {
 		return err
 	}
 	if st == nil && len(recs) == 0 {
-		return nil // fresh state directory
+		// Fresh state directory: nothing to replay, but the gate opens —
+		// mutations are refused between New and Recover.
+		d.recovered.Store(true)
+		return nil
 	}
 	d.recovering.Store(true)
 	defer d.recovering.Store(false)
@@ -281,6 +321,7 @@ func (d *Daemon) Recover() error {
 		d.walErrors++
 		d.cfg.Logf("boot compaction failed (durability degraded): %v", err)
 	}
+	d.recovered.Store(true)
 	return nil
 }
 
@@ -392,21 +433,35 @@ func (d *Daemon) applyRecordLocked(rec store.Record) error {
 		// live inventory may have burned IDs that no record captured
 		// (an add rolled back on journal failure), and replay must
 		// still land every node exactly where consumers recorded it.
-		return d.planner.Inventory().RestoreAdd(cluster.Node{
+		if err := d.planner.Inventory().RestoreAdd(cluster.Node{
 			Name: rec.Node.Name, CPUMHz: rec.Node.CPUMHz, MemMB: rec.Node.MemMB,
-		}, cluster.NodeID(rec.Node.ID))
+		}, cluster.NodeID(rec.Node.ID)); err != nil {
+			return err
+		}
+		// Rolled-back adds burn version increments no record captures;
+		// the journaled post-op version resynchronizes the counter.
+		d.restoreInventoryVersion(rec)
+		return nil
 	case store.OpDrainNode:
-		_, err := d.planner.Inventory().Drain(rec.Name)
-		return err
+		if _, err := d.planner.Inventory().Drain(rec.Name); err != nil {
+			return err
+		}
+		d.restoreInventoryVersion(rec)
+		return nil
 	case store.OpFailNode:
 		d.applyFailNode(rec.Name, rec.Time)
+		d.restoreInventoryVersion(rec)
 		return nil
 	case store.OpRemoveNode:
 		n, ok := d.planner.Inventory().ByName(rec.Name)
 		if !ok {
 			return fmt.Errorf("unknown node %q", rec.Name)
 		}
-		return d.planner.RemoveNode(n.ID)
+		if err := d.planner.RemoveNode(n.ID); err != nil {
+			return err
+		}
+		d.restoreInventoryVersion(rec)
+		return nil
 	case store.OpCycle:
 		if rec.Cycle == nil {
 			return fmt.Errorf("missing cycle payload")
@@ -414,6 +469,17 @@ func (d *Daemon) applyRecordLocked(rec store.Record) error {
 		return d.applyCycleLocked(rec.Cycle)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// restoreInventoryVersion fast-forwards the inventory version to a node
+// record's journaled post-op value, keeping InventoryVersion consistent
+// across restarts even when live mutation burned increments no record
+// captured (an add rolled back on journal failure). Records from before
+// the field existed carry 0 and are skipped.
+func (d *Daemon) restoreInventoryVersion(rec store.Record) {
+	if rec.InventoryVersion > 0 {
+		d.planner.Inventory().RestoreVersion(rec.InventoryVersion)
 	}
 }
 
@@ -478,7 +544,7 @@ func (d *Daemon) Durability() DurabilityView {
 func (d *Daemon) durabilityLocked() DurabilityView {
 	v := DurabilityView{
 		Enabled:    d.store != nil,
-		Recovering: d.recovering.Load(),
+		Recovering: d.recovering.Load() || !d.recovered.Load(),
 		SystemMetrics: dynplace.SystemMetrics{
 			UptimeCycles:          d.cycles.Load() - d.baseCycles,
 			Restarts:              int(d.restarts.Load()),

@@ -3,6 +3,7 @@ package daemon
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -12,8 +13,10 @@ import (
 	"dynplace/internal/store"
 )
 
-// newDurableDaemon builds a daemon journaling into dir under a SimClock.
-func newDurableDaemon(t *testing.T, dir string) (*Daemon, *SimClock) {
+// newDurableDaemonRaw builds a daemon journaling into dir under a
+// SimClock without running Recover: mutations and Start are refused
+// until the test recovers it.
+func newDurableDaemonRaw(t *testing.T, dir string) (*Daemon, *SimClock) {
 	t.Helper()
 	cl, err := cluster.Uniform(3, 3000, 4096)
 	if err != nil {
@@ -37,6 +40,17 @@ func newDurableDaemon(t *testing.T, dir string) (*Daemon, *SimClock) {
 		t.Fatal(err)
 	}
 	t.Cleanup(d.Stop)
+	return d, clock
+}
+
+// newDurableDaemon builds a durable daemon and runs the boot-time
+// recovery (a no-op on a fresh directory) so it accepts mutations.
+func newDurableDaemon(t *testing.T, dir string) (*Daemon, *SimClock) {
+	t.Helper()
+	d, clock := newDurableDaemonRaw(t, dir)
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
 	return d, clock
 }
 
@@ -101,9 +115,6 @@ func TestKillRestartPlacementRoundTrip(t *testing.T) {
 	}
 
 	d2, clock2 := newDurableDaemon(t, dir)
-	if err := d2.Recover(); err != nil {
-		t.Fatal(err)
-	}
 	if got := placementJSON(t, d2); !bytes.Equal(got, beforeRaw) {
 		t.Fatalf("placement diverged across kill/replay:\npre:  %s\npost: %s", beforeRaw, got)
 	}
@@ -168,9 +179,6 @@ func TestGracefulShutdownCompacts(t *testing.T) {
 	}
 
 	d2, _ := newDurableDaemon(t, dir)
-	if err := d2.Recover(); err != nil {
-		t.Fatal(err)
-	}
 	dur := d2.Durability()
 	if dur.ReplayedRecords != 0 {
 		t.Fatalf("replayed %d records after graceful shutdown, want 0", dur.ReplayedRecords)
@@ -224,9 +232,6 @@ func TestRecoveryReplaysEveryMutationClass(t *testing.T) {
 	wantVersion := d.planner.Inventory().Version()
 
 	d2, _ := newDurableDaemon(t, dir)
-	if err := d2.Recover(); err != nil {
-		t.Fatal(err)
-	}
 	if got := d2.WebAppNames(); len(got) != 1 || got[0] != "shop" {
 		t.Fatalf("apps = %v, want [shop]", got)
 	}
@@ -266,12 +271,13 @@ func TestHealthRecoveringState(t *testing.T) {
 	clock.Advance(60)
 	d.Stop()
 
-	d2, _ := newDurableDaemon(t, dir)
-	d2.recovering.Store(true) // what Recover holds while replaying
+	d2, _ := newDurableDaemonRaw(t, dir)
+	// The recovering window opens as soon as the daemon exists — before
+	// Recover is even entered — so a load balancer that routes early sees
+	// "recovering", not "ok".
 	if got := d2.Health().Status; got != "recovering" {
-		t.Fatalf("health during replay = %q, want recovering", got)
+		t.Fatalf("health before recover = %q, want recovering", got)
 	}
-	d2.recovering.Store(false)
 	if err := d2.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -302,6 +308,9 @@ func TestPeriodicSnapshotBoundsWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(d.Stop)
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
 	loadWorkload(t, d)
 	if err := d.Start(); err != nil {
 		t.Fatal(err)
@@ -315,9 +324,6 @@ func TestPeriodicSnapshotBoundsWAL(t *testing.T) {
 	beforeRaw := placementJSON(t, d)
 
 	d2, _ := newDurableDaemon(t, dir)
-	if err := d2.Recover(); err != nil {
-		t.Fatal(err)
-	}
 	dur := d2.Durability()
 	if dur.ReplayedRecords == 0 || dur.ReplayedRecords >= 8 {
 		t.Fatalf("replayed %d records, want only the post-snapshot tail", dur.ReplayedRecords)
@@ -330,6 +336,106 @@ func TestPeriodicSnapshotBoundsWAL(t *testing.T) {
 	}
 	if d2.Metrics().Cycles != d.cycles.Load() {
 		t.Fatalf("lifetime cycles = %d, want %d", d2.Metrics().Cycles, d.cycles.Load())
+	}
+}
+
+// TestMutationsRefusedUntilRecovered covers the boot window between the
+// API starting to serve and Recover completing: a mutation accepted
+// there would be journaled, acknowledged with 2xx, then wiped from
+// memory by the replay and dropped from disk by the boot compaction.
+// Every mutating surface must refuse with 503 until recovery has run.
+func TestMutationsRefusedUntilRecovered(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDaemon(t, dir)
+	loadWorkload(t, d)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(120)
+	d.Stop() // kill: the next generation must replay before mutating
+
+	d2, _ := newDurableDaemonRaw(t, dir)
+	srv := httptest.NewServer(d2.Handler())
+	t.Cleanup(srv.Close)
+	mutations := []struct {
+		method, path string
+		body         any
+	}{
+		{"POST", "/apps", AddAppRequest{App: dynplace.WebAppSpec{
+			Name: "early", ArrivalRate: 1, DemandPerRequest: 10,
+			GoalResponseTime: 1, MemoryMB: 100,
+		}}},
+		{"POST", "/jobs", SubmitJobRequest{Job: dynplace.JobSpec{
+			Name: "early-job", WorkMcycles: 1, MaxSpeedMHz: 1,
+			MemoryMB: 1, Deadline: 9999,
+		}}},
+		{"POST", "/nodes", AddNodeRequest{Name: "early-node", CPUMHz: 1000, MemMB: 1024}},
+		{"POST", "/nodes/node-0/drain", nil},
+		{"POST", "/nodes/node-0/fail", nil},
+		{"DELETE", "/nodes/node-0", nil},
+		{"DELETE", "/apps/shop", nil},
+		{"POST", "/apps/shop/load", SetLoadRequest{ArrivalRate: 5}},
+		{"POST", "/state/snapshot", nil},
+	}
+	for _, c := range mutations {
+		status, body := do(t, c.method, srv.URL+c.path, c.body)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s before recover = %d (%s), want 503", c.method, c.path, status, body)
+		}
+	}
+	if err := d2.Start(); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("Start before Recover: err = %v, want ErrRecovering", err)
+	}
+
+	if err := d2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing refused above leaked into the recovered state, and the
+	// daemon accepts mutations again.
+	if got := d2.WebAppNames(); len(got) != 1 || got[0] != "shop" {
+		t.Fatalf("apps after recover = %v, want [shop]", got)
+	}
+	status, body := do(t, "POST", srv.URL+"/nodes", AddNodeRequest{Name: "late-node", CPUMHz: 1000, MemMB: 1024})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /nodes after recover = %d (%s)", status, body)
+	}
+}
+
+// TestNodeOpReplayRestoresInventoryVersion: node-op records carry the
+// post-op inventory version, so replay resynchronizes the counter even
+// when the live inventory burned increments no record captured (an add
+// rolled back on journal failure bumps the version twice) — including
+// for the drain/fail/remove transitions that follow such a gap.
+func TestNodeOpReplayRestoresInventoryVersion(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(store.Record{
+		Time: 0, Op: store.OpAddNode,
+		Node: &cluster.InventoryNodeSnapshot{
+			ID: 7, Name: "spare", CPUMHz: 2000, MemMB: 2048,
+			State: cluster.NodeActive.String(),
+		},
+		InventoryVersion: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A drain journaled after further burned increments: live version 12.
+	if _, err := st.Append(store.Record{
+		Time: 1, Op: store.OpDrainNode, Name: "spare", InventoryVersion: 12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	d, _ := newDurableDaemon(t, dir)
+	if v := d.planner.Inventory().Version(); v != 12 {
+		t.Fatalf("inventory version after replay = %d, want 12", v)
+	}
+	if n, ok := d.planner.Inventory().ByName("spare"); !ok || int(n.ID) != 7 || n.State != cluster.NodeDraining {
+		t.Fatalf("restored node = %+v (ok=%v), want ID 7 draining", n, ok)
 	}
 }
 

@@ -122,15 +122,18 @@ func RunRecoverySweep(opts RecoverySweepOptions) ([]RecoverySweepRow, error) {
 	return rows, nil
 }
 
-// newRecoveryDaemon builds one durable daemon generation over dir.
-func newRecoveryDaemon(opts RecoverySweepOptions, dir string) (*daemon.Daemon, *daemon.SimClock, error) {
+// newRecoveryDaemon builds one durable daemon generation over dir and
+// runs the boot-time recovery (a no-op on the first generation's fresh
+// directory) so the daemon accepts mutations. The store is returned so
+// the scenario can release its file handle without a graceful flush.
+func newRecoveryDaemon(opts RecoverySweepOptions, dir string) (*daemon.Daemon, *daemon.SimClock, *store.Store, error) {
 	cl, err := cluster.Uniform(opts.Nodes, 15600, 16384)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st, err := store.Open(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	clock := daemon.NewSimClock()
 	d, err := daemon.New(daemon.Config{
@@ -143,9 +146,13 @@ func newRecoveryDaemon(opts RecoverySweepOptions, dir string) (*daemon.Daemon, *
 	})
 	if err != nil {
 		st.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return d, clock, err
+	if err := d.Recover(); err != nil {
+		st.Close()
+		return nil, nil, nil, err
+	}
+	return d, clock, st, nil
 }
 
 func runRecoveryScenario(opts RecoverySweepOptions, kill int) (RecoverySweepRow, error) {
@@ -156,7 +163,7 @@ func runRecoveryScenario(opts RecoverySweepOptions, kill int) (RecoverySweepRow,
 	defer os.RemoveAll(dir)
 
 	begin := time.Now()
-	d, clock, err := newRecoveryDaemon(opts, dir)
+	d, clock, st, err := newRecoveryDaemon(opts, dir)
 	if err != nil {
 		return RecoverySweepRow{}, err
 	}
@@ -194,16 +201,15 @@ func runRecoveryScenario(opts RecoverySweepOptions, kill int) (RecoverySweepRow,
 		return row, err
 	}
 	row.WALBytesAtKill = d.Durability().Store.WALBytes
+	st.Close() // drop the fd as the dead process would; nothing is flushed
 
 	// Second generation: recover from the state dir and run to the
 	// horizon.
-	d2, clock2, err := newRecoveryDaemon(opts, dir)
+	d2, clock2, st2, err := newRecoveryDaemon(opts, dir)
 	if err != nil {
 		return row, err
 	}
-	if err := d2.Recover(); err != nil {
-		return row, err
-	}
+	defer st2.Close()
 	postRaw, err := json.Marshal(d2.Placement())
 	if err != nil {
 		return row, err

@@ -67,6 +67,13 @@ type Record struct {
 	Job *dynplace.JobSpec `json:"job,omitempty"`
 	// Node is the OpAddNode payload.
 	Node *cluster.InventoryNodeSnapshot `json:"node,omitempty"`
+	// InventoryVersion is the post-op inventory version for the node ops
+	// (OpAddNode, OpDrainNode, OpFailNode, OpRemoveNode). Replay restores
+	// it alongside the op so consumers that key decisions on
+	// InventoryVersion see the same numbering across a restart even when
+	// the live inventory burned increments no record captured (an add
+	// rolled back on journal failure bumps the version twice).
+	InventoryVersion int64 `json:"inventoryVersion,omitempty"`
 	// Cycle is the OpCycle payload.
 	Cycle *CycleRecord `json:"cycle,omitempty"`
 }

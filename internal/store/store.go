@@ -70,6 +70,9 @@ type Info struct {
 	SnapshotSeq   uint64  `json:"snapshotSeq"`
 	SnapshotBytes int64   `json:"snapshotBytes"`
 	SnapshotTime  float64 `json:"snapshotTime"`
+	// Failed carries the poison reason after an unrecoverable journal
+	// error; empty while the store is healthy.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Store is one state directory holding a WAL and its compacting
@@ -78,6 +81,11 @@ type Info struct {
 type Store struct {
 	dir string
 	wal *os.File
+	// failed, once set, poisons the store: a journal write or fsync left
+	// the WAL in a state we cannot vouch for, so every further Append and
+	// WriteSnapshot is refused rather than appending after garbage and
+	// making already-acknowledged history unrecoverable.
+	failed error
 
 	seq        uint64
 	walBytes   int64
@@ -104,6 +112,14 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir}
+	// Sweep debris from a crash between writeFileAtomic's create and
+	// rename: the temp file was never part of the durable state, and
+	// leaving it would accumulate stale *.tmp files across crashes.
+	for _, stale := range []string{walName + ".tmp", snapName + ".tmp"} {
+		if err := os.Remove(filepath.Join(dir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("store: removing stale %s: %w", stale, err)
+		}
+	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -128,7 +144,7 @@ func (s *Store) Dir() string { return s.dir }
 
 // Info reports the store's current durability gauges.
 func (s *Store) Info() Info {
-	return Info{
+	info := Info{
 		Dir:           s.dir,
 		Seq:           s.seq,
 		WALBytes:      s.walBytes,
@@ -137,6 +153,10 @@ func (s *Store) Info() Info {
 		SnapshotBytes: s.snapBytes,
 		SnapshotTime:  s.snapTime,
 	}
+	if s.failed != nil {
+		info.Failed = s.failed.Error()
+	}
+	return info
 }
 
 // loadSnapshot reads and validates snapshot.dat if present.
@@ -179,7 +199,7 @@ func (s *Store) loadSnapshot() error {
 func (s *Store) loadWAL() error {
 	data, err := os.ReadFile(s.walPath())
 	if errors.Is(err, os.ErrNotExist) {
-		if err := s.createWAL(); err != nil {
+		if _, err := s.createWAL(); err != nil {
 			return err
 		}
 		s.walBytes = int64(len(walMagic))
@@ -192,7 +212,7 @@ func (s *Store) loadWAL() error {
 		// A zero-length or half-written magic can only be a crash during
 		// WAL creation/rotation with nothing committed: recreate.
 		if allPrefixOf(data, walMagic) {
-			if err := s.createWAL(); err != nil {
+			if _, err := s.createWAL(); err != nil {
 				return err
 			}
 			s.walBytes = int64(len(walMagic))
@@ -301,12 +321,51 @@ func (s *Store) Load() (*State, []Record, error) {
 	return st, recs, nil
 }
 
+// usable reports whether the store can accept writes.
+func (s *Store) usable() error {
+	if s.failed != nil {
+		return fmt.Errorf("store: unusable after journal error: %w", s.failed)
+	}
+	if s.wal == nil {
+		return errors.New("store: closed")
+	}
+	return nil
+}
+
+// poison marks the store permanently failed and releases the WAL handle.
+func (s *Store) poison(err error) {
+	s.failed = err
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+}
+
+// checkFrameSize refuses payloads the reader would reject as corrupt:
+// maxFrameBytes must be enforced on the write path, or a
+// too-large-but-valid payload turns the state directory unbootable at
+// the next Open.
+func checkFrameSize(kind string, n int) error {
+	if n > maxFrameBytes {
+		return fmt.Errorf("store: %s payload is %d bytes, over the %d-byte frame limit", kind, n, maxFrameBytes)
+	}
+	return nil
+}
+
 // Append assigns the record the next sequence number, frames it, writes
 // it to the WAL and fsyncs before returning — once Append returns nil
 // the mutation survives kill -9.
+//
+// A failed write is rolled back by truncating the file to the last
+// known-good record boundary so the log stays appendable; if that
+// truncate fails, or the fsync fails (after which the kernel may have
+// dropped the dirty pages, leaving the on-disk tail unknowable), the
+// store is poisoned and refuses all further writes — appending after a
+// torn or half-synced frame would make every later acknowledged record
+// unrecoverable.
 func (s *Store) Append(rec Record) (uint64, error) {
-	if s.wal == nil {
-		return 0, errors.New("store: closed")
+	if err := s.usable(); err != nil {
+		return 0, err
 	}
 	rec.V = SchemaVersion
 	rec.Seq = s.seq + 1
@@ -314,11 +373,24 @@ func (s *Store) Append(rec Record) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: marshal record: %w", err)
 	}
+	if err := checkFrameSize("record", len(payload)); err != nil {
+		return 0, err
+	}
 	frame := appendFrame(nil, payload)
 	if _, err := s.wal.Write(frame); err != nil {
+		if terr := s.wal.Truncate(s.walBytes); terr != nil {
+			s.poison(fmt.Errorf("append failed (%v), truncate to offset %d failed (%v)", err, s.walBytes, terr))
+		}
 		return 0, fmt.Errorf("store: append: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
+		// The frame is fully written but its durability is unknowable, and
+		// the caller will treat the mutation as failed — best-effort drop
+		// it so a restart does not replay a record the API refused. The
+		// poison stands regardless: after a failed fsync the kernel may
+		// have dropped dirty pages anywhere in the file.
+		_ = s.wal.Truncate(s.walBytes)
+		s.poison(fmt.Errorf("fsync failed at seq %d: %v", rec.Seq, err))
 		return 0, fmt.Errorf("store: fsync: %w", err)
 	}
 	s.seq = rec.Seq
@@ -333,8 +405,8 @@ func (s *Store) Append(rec Record) (uint64, error) {
 // either the old snapshot+WAL or the new snapshot with a WAL whose
 // covered records are skipped on recovery.
 func (s *Store) WriteSnapshot(st *State) error {
-	if s.wal == nil {
-		return errors.New("store: closed")
+	if err := s.usable(); err != nil {
+		return err
 	}
 	st.V = SchemaVersion
 	st.Seq = s.seq
@@ -342,8 +414,13 @@ func (s *Store) WriteSnapshot(st *State) error {
 	if err != nil {
 		return fmt.Errorf("store: marshal snapshot: %w", err)
 	}
+	if err := checkFrameSize("snapshot", len(payload)); err != nil {
+		return err
+	}
 	data := appendFrame([]byte(snapMagic), payload)
-	if err := s.writeFileAtomic(s.snapPath(), data); err != nil {
+	if _, err := s.writeFileAtomic(s.snapPath(), data); err != nil {
+		// Either snapshot (old or new) recovers consistently with the
+		// un-rotated WAL, so a failed snapshot write never poisons.
 		return err
 	}
 	s.snapSeq = st.Seq
@@ -353,28 +430,34 @@ func (s *Store) WriteSnapshot(st *State) error {
 }
 
 // writeFileAtomic writes data to path via a temp file, fsync and rename,
-// then fsyncs the directory so the rename itself is durable.
-func (s *Store) writeFileAtomic(path string, data []byte) error {
+// then fsyncs the directory so the rename itself is durable. The
+// replaced flag reports whether the target may already have been
+// swapped when an error occurred: failures before the rename provably
+// leave the old file intact, failures at or after it (a rename error is
+// ambiguous, a directory-fsync error follows a successful rename) do
+// not — callers holding a handle on the old file must treat it as
+// possibly unlinked.
+func (s *Store) writeFileAtomic(path string, data []byte) (replaced bool, err error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return true, fmt.Errorf("store: %w", err)
 	}
-	return s.syncDir()
+	return true, s.syncDir()
 }
 
 func (s *Store) syncDir() error {
@@ -389,8 +472,10 @@ func (s *Store) syncDir() error {
 	return nil
 }
 
-// createWAL writes a fresh WAL containing only the magic, durably.
-func (s *Store) createWAL() error {
+// createWAL writes a fresh WAL containing only the magic, durably. The
+// replaced flag has writeFileAtomic's meaning: on error, whether the
+// previous wal.log may already have been unlinked by the rename.
+func (s *Store) createWAL() (replaced bool, err error) {
 	return s.writeFileAtomic(s.walPath(), []byte(walMagic))
 }
 
@@ -399,16 +484,23 @@ func (s *Store) createWAL() error {
 // now points at an unlinked inode, and appending there would
 // acknowledge mutations that no longer exist on disk.
 func (s *Store) rotateWAL() error {
-	if err := s.createWAL(); err != nil {
+	if replaced, err := s.createWAL(); err != nil {
+		if replaced {
+			// The rename may have landed (or the directory fsync after it
+			// failed), leaving s.wal on an unlinked inode; poison rather
+			// than risk acknowledging mutations into it.
+			s.poison(fmt.Errorf("rotating WAL: %v", err))
+		}
+		// A pre-rename failure (e.g. ENOSPC writing the temp file) leaves
+		// the old WAL intact and appendable: report it without poisoning.
 		return err
 	}
 	old := s.wal
 	f, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		s.wal = nil // subsequent Appends error instead of vanishing
-		if old != nil {
-			old.Close()
-		}
+		// poison closes old (still held in s.wal): subsequent Appends
+		// error instead of vanishing into the unlinked inode.
+		s.poison(fmt.Errorf("reopening rotated WAL: %v", err))
 		return fmt.Errorf("store: reopening rotated WAL: %w", err)
 	}
 	s.wal = f

@@ -131,7 +131,7 @@ func TestSnapshotWithoutRotationSkipsCoveredRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.writeFileAtomic(s.snapPath(), appendFrame([]byte(snapMagic), payload)); err != nil {
+	if _, err := s.writeFileAtomic(s.snapPath(), appendFrame([]byte(snapMagic), payload)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -281,6 +281,91 @@ func TestNewerSchemaRefused(t *testing.T) {
 	s.Close()
 	if _, err := Open(dir); !errors.Is(err, ErrVersion) {
 		t.Fatalf("future record version: err = %v, want ErrVersion", err)
+	}
+}
+
+// TestOpenRemovesStaleTempFiles: a crash between writeFileAtomic's
+// create and rename leaves a *.tmp behind; the next Open sweeps it
+// instead of letting debris accumulate across crashes.
+func TestOpenRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if _, err := s.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	stale := []string{walName + ".tmp", snapName + ".tmp"}
+	for _, name := range stale {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openStore(t, dir)
+	if _, recs, err := s2.Load(); err != nil || len(recs) != 1 {
+		t.Fatalf("load with stale temp files: recs=%d err=%v", len(recs), err)
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale %s survived Open (err=%v)", name, err)
+		}
+	}
+}
+
+// TestAppendErrorPoisonsStore: when a journal write fails in a way the
+// store cannot roll back, every further Append and WriteSnapshot must be
+// refused — appending after a torn frame would make acknowledged history
+// unrecoverable — while records acknowledged before the failure stay
+// loadable from a fresh Open.
+func TestAppendErrorPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sabotage the WAL handle: a read-only descriptor fails the write and
+	// the fallback truncate, which must poison the store.
+	s.wal.Close()
+	ro, err := os.Open(s.walPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.wal = ro
+	if _, err := s.Append(testRecord(2)); err == nil {
+		t.Fatal("append over a read-only WAL handle succeeded")
+	}
+	if s.failed == nil {
+		t.Fatal("store not poisoned after unrecoverable append error")
+	}
+	if _, err := s.Append(testRecord(3)); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("append on poisoned store: err = %v, want unusable", err)
+	}
+	if err := s.WriteSnapshot(&State{Time: 60}); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("snapshot on poisoned store: err = %v, want unusable", err)
+	}
+	if info := s.Info(); info.Failed == "" {
+		t.Fatal("Info does not surface the poison reason")
+	}
+
+	// Everything acknowledged before the failure is still recoverable.
+	s2 := openStore(t, dir)
+	if _, recs, err := s2.Load(); err != nil || len(recs) != 2 {
+		t.Fatalf("reload after poison: recs=%d err=%v", len(recs), err)
+	}
+}
+
+// TestFrameSizeEnforcedAtWriteTime: a payload larger than the reader
+// accepts must fail on the write path — writing it would turn a valid
+// state into an unbootable directory at the next Open.
+func TestFrameSizeEnforcedAtWriteTime(t *testing.T) {
+	if err := checkFrameSize("record", maxFrameBytes); err != nil {
+		t.Fatalf("limit-sized payload refused: %v", err)
+	}
+	err := checkFrameSize("record", maxFrameBytes+1)
+	if err == nil || !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("oversize payload: err = %v, want frame-limit error", err)
 	}
 }
 

@@ -116,8 +116,8 @@ print(f'recovery-smoke: completed work preserved ({pre:.0f} -> {post:.0f} Mcycle
 
 say "graceful SIGTERM"
 kill -TERM "$DPID"
-wait "$DPID"
-rc=$?
+rc=0
+wait "$DPID" || rc=$?   # capture under set -e so the FAIL branch stays reachable
 if [ "$rc" -ne 0 ]; then
   say "FAIL: SIGTERM exit code $rc"
   exit 1
