@@ -544,6 +544,42 @@ func BenchmarkRecoverySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the two paths it instruments: the placement cycle (trace spans +
+// latency histograms around a scale-sweep solve) and router request
+// dispatch (counters + histogram vs none). CI runs it with
+// -benchtime=1x next to the other sweeps and uploads
+// BENCH_obs_overhead.json.
+//
+// The sweep enforces the hot-path contract: instrumentation must not
+// move the control cycle materially (the ±2% band is solver noise at
+// this scale) and instrumented dispatch must stay within a microsecond
+// of bare dispatch.
+func BenchmarkObsOverhead(b *testing.B) {
+	opts := experiments.DefaultObsOverheadOptions()
+	var row experiments.ObsOverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.RunObsOverhead(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.ObsOverheadTable(row))
+	writeBenchJSON(b, "obs_overhead", row)
+	if row.CycleOverheadPct > 2.0 {
+		b.Fatalf("instrumented cycle %.2f%% over bare — obs layer is not free at cycle granularity",
+			row.CycleOverheadPct)
+	}
+	if row.DispatchInstrumentedNs > row.DispatchBareNs+1000 {
+		b.Fatalf("instrumented dispatch %.0fns vs bare %.0fns — dispatch-path instruments too heavy",
+			row.DispatchInstrumentedNs, row.DispatchBareNs)
+	}
+	b.ReportMetric(row.CycleOverheadPct, "cycle-overhead-pct")
+	b.ReportMetric(row.DispatchBareNs, "dispatch-bare-ns")
+	b.ReportMetric(row.DispatchInstrumentedNs, "dispatch-instr-ns")
+}
+
 // writeBenchJSON emits the sweep rows as BENCH_<name>.json when the CI
 // bench-smoke job (or a local run) sets BENCH_JSON_DIR.
 func writeBenchJSON(b *testing.B, name string, rows any) {

@@ -25,6 +25,15 @@
 // (e.g. after losing too many nodes), or "failing" when cycles error,
 // with the last error attached.
 //
+// Observability: GET /metrics/prom serves the Prometheus text
+// exposition (cycle/span/zone latency histograms, router and WAL
+// timings, lifetime counters), GET /debug/cycles/{n} the span timeline
+// of a recent control cycle. Logs are structured (log/slog); choose
+// the encoding with -log-format=text|json. Cycles slower than
+// -slow-cycle seconds log a warning. -pprof-addr serves
+// net/http/pprof on a separate, opt-in listener so profiling is never
+// exposed on the API address.
+//
 // Example:
 //
 //	dynplaced -listen :8080 -cluster 4x3000/4096 -cycle 30
@@ -40,6 +49,7 @@
 //	  "cpuMHz":3000,"memMB":4096}'
 //	curl -s -X POST localhost:8080/nodes/node-2/drain
 //	curl -s localhost:8080/placement
+//	curl -s localhost:8080/metrics/prom
 package main
 
 import (
@@ -47,8 +57,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -77,18 +88,41 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-cycle log lines")
 		stateDir  = flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty runs memory-only")
 		snapEvery = flag.Int("snapshot-every", 64, "cycles between compacting snapshots (negative disables periodic compaction)")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		slowCycle = flag.Float64("slow-cycle", 0, "warn when a control cycle takes longer than this many seconds (0 = 80% of -cycle, negative disables)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+		traceN    = flag.Int("trace-cycles", 64, "cycle span timelines retained for /debug/cycles")
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "dynplaced: -log-format: %q is not text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	cl, err := cluster.Parse(*spec)
 	if err != nil {
-		log.Fatalf("dynplaced: -cluster: %v", err)
+		fatal("bad -cluster", err)
 	}
 	costs := cluster.DefaultCostModel()
 	if *freeCosts {
 		costs = cluster.FreeCostModel()
 	}
-	logf := log.Printf
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
@@ -100,7 +134,7 @@ func main() {
 	if *stateDir != "" {
 		st, err = store.Open(*stateDir)
 		if err != nil {
-			log.Fatalf("dynplaced: -state-dir: %v", err)
+			fatal("bad -state-dir", err)
 		}
 	}
 	d, err := daemon.New(daemon.Config{
@@ -115,14 +149,39 @@ func main() {
 			Shards:            *shards,
 			ShardSeed:         *shardSeed,
 		},
-		QueueCap:      qc,
-		History:       *history,
-		Logf:          logf,
+		QueueCap: qc,
+		History:  *history,
+		Logf:     logf,
+		// Warnings (slow cycles, degraded states) always log, -quiet or
+		// not: they are the lines operators alert on.
+		Warnf: func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		},
+		SlowCycleWarn: *slowCycle,
+		TraceCycles:   *traceN,
 		Store:         st,
 		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
-		log.Fatalf("dynplaced: %v", err)
+		fatal("bad configuration", err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: nothing profiling-
+		// related is ever reachable through the API address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -140,44 +199,45 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	if st != nil {
-		log.Printf("dynplaced: durable state in %s (snapshot every %d cycles)", *stateDir, *snapEvery)
+		logger.Info("durable state enabled", "dir", *stateDir, "snapshotEvery", *snapEvery)
 		if err := d.Recover(); err != nil {
-			log.Fatalf("dynplaced: recover: %v", err)
+			fatal("recover", err)
 		}
 	}
 	if err := d.Start(); err != nil {
-		log.Fatalf("dynplaced: %v", err)
+		fatal("start", err)
 	}
 	defer d.Stop()
-	mode := "flat placement"
+	mode := "flat"
 	if *shards >= 1 {
-		mode = fmt.Sprintf("%d placement zones", *shards)
+		mode = fmt.Sprintf("%d zones", *shards)
 	}
-	log.Printf("dynplaced: managing %d nodes (%.0f MHz, %.0f MB) on %s, cycle %.1fs, %s",
-		cl.Len(), cl.TotalCPU(), cl.TotalMem(), *listen, *cycle, mode)
+	logger.Info("managing cluster",
+		"nodes", cl.Len(), "cpuMHz", cl.TotalCPU(), "memMB", cl.TotalMem(),
+		"listen", *listen, "cycleSeconds", *cycle, "mode", mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("dynplaced: %v", err)
+			fatal("serve", err)
 		}
 	case s := <-sig:
 		// Graceful shutdown: stop accepting requests, drain the cycle
 		// loop, flush the store with a final snapshot, and exit 0.
 		fmt.Fprintln(os.Stderr)
-		log.Printf("dynplaced: %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("dynplaced: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		if err := d.Shutdown(); err != nil {
-			log.Fatalf("dynplaced: final snapshot: %v", err)
+			fatal("final snapshot", err)
 		}
 		if st != nil {
-			log.Printf("dynplaced: state flushed to %s", *stateDir)
+			logger.Info("state flushed", "dir", *stateDir)
 		}
 	}
 }

@@ -3,9 +3,11 @@ package control
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
+	"dynplace/internal/obs"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/shard"
 	"dynplace/internal/txn"
@@ -330,10 +332,20 @@ func (pl *Plan) BatchUtilityMean() (float64, bool) {
 // persisted inside the planner so the next cycle starts from it; applying
 // the returned batch assignments is the caller's responsibility.
 func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error) {
+	return p.PlanTraced(now, cycle, live, nil)
+}
+
+// PlanTraced is Plan with cycle tracing: each pipeline stage
+// (inventory snapshot, problem build, solve — decomposed into
+// rebalance, per-zone solves and merge when sharding is on — and
+// result extraction) is recorded as a span on ct. A nil trace records
+// nothing and costs nothing beyond a few branch checks.
+func (p *Planner) PlanTraced(now, cycle float64, live []*scheduler.Job, ct *obs.CycleTrace) (*Plan, error) {
 	// Placeable nodes (active state), densely renumbered for the
 	// optimizer. Draining nodes are deliberately excluded: the replan
 	// places nothing new on them and live-migrates whatever they still
 	// host, which is exactly the graceful-drain contract.
+	endInv := ct.Span("inventory_snapshot")
 	version := p.inv.Version()
 	invNodes := p.inv.Nodes()
 	states := make(map[cluster.NodeID]cluster.NodeState, len(invNodes))
@@ -365,6 +377,7 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 			j.Evict()
 		}
 	}
+	endInv()
 
 	nWeb := len(p.webApps)
 	plan := &Plan{
@@ -390,6 +403,7 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 		return nil, err
 	}
 
+	endBuild := ct.Span("build_problem")
 	apps := make([]*core.Application, 0, nWeb+len(live))
 	current := core.NewPlacement(nWeb + len(live))
 	lastNodes := make([]cluster.NodeID, nWeb+len(live))
@@ -438,11 +452,18 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 		MaxPasses:         p.dyn.MaxPasses,
 		Parallelism:       p.dyn.Parallelism,
 	}
+	endBuild()
 	var res *core.Result
 	if p.coord != nil {
+		solveStart := ct.Elapsed()
 		res, plan.Shards, err = p.coord.Solve(problem)
+		if err == nil {
+			addShardSpans(ct, solveStart, p.coord.Timings(), plan.Shards)
+		}
 	} else {
+		endSolve := ct.Span("solve")
 		res, err = core.Optimize(problem)
+		endSolve()
 	}
 	if err != nil {
 		if errors.Is(err, core.ErrInfeasible) {
@@ -451,6 +472,8 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 		return nil, err
 	}
 
+	endExtract := ct.Span("extract")
+	defer endExtract()
 	// Persist web placement and report instances with their shares.
 	for i := range p.webApps {
 		nodes := res.Placement.NodesOf(i)
@@ -487,4 +510,24 @@ func (p *Planner) Plan(now, cycle float64, live []*scheduler.Job) (*Plan, error)
 	plan.OmegaG = res.Eval.OmegaG
 	plan.Changes = res.Changes
 	return plan, nil
+}
+
+// addShardSpans reconstructs the sharded solve's concurrent timeline
+// as trace spans: the rebalance-and-partition prologue, each zone's
+// solve (zones overlap in time), and the merge/verify epilogue.
+// solveStart is the coordinator call's offset from the cycle start.
+func addShardSpans(ct *obs.CycleTrace, solveStart time.Duration, t shard.Timings, stats []shard.Stats) {
+	if ct == nil {
+		return
+	}
+	ct.AddSpan("shard_rebalance", solveStart, t.Rebalance)
+	for s, st := range stats {
+		var off time.Duration
+		if s < len(t.ZoneStart) {
+			off = t.ZoneStart[s]
+		}
+		ct.AddSpan(fmt.Sprintf("zone_solve:%d", s), solveStart+off,
+			time.Duration(st.SolveMillis*float64(time.Millisecond)))
+	}
+	ct.AddSpan("merge_verify", ct.Elapsed()-t.Merge, t.Merge)
 }

@@ -3,12 +3,16 @@ package daemon
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dynplace"
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
+	"dynplace/internal/obs"
 	"dynplace/internal/router"
 )
 
@@ -31,29 +35,65 @@ import (
 //	DELETE /nodes/{name}       remove an empty (drained/failed) node
 //	GET    /state              durability status (WAL, snapshots, replay)
 //	POST   /state/snapshot     write a compacting snapshot now
+//	GET    /metrics/prom       Prometheus text exposition (version 0.0.4)
+//	GET    /debug/cycles       span timelines of the retained recent cycles
+//	GET    /debug/cycles/{n}   span timeline of cycle n
 //
 // Bodies and responses are JSON; workload specs use the library's public
-// spec types (dynplace.WebAppSpec, dynplace.JobSpec).
+// spec types (dynplace.WebAppSpec, dynplace.JobSpec). Every route is
+// wrapped in latency/status instrumentation feeding the
+// dynplace_http_* series on /metrics/prom.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", d.handleHealthz)
-	mux.HandleFunc("GET /placement", d.handlePlacement)
-	mux.HandleFunc("GET /metrics", d.handleMetrics)
-	mux.HandleFunc("GET /apps", d.handleListApps)
-	mux.HandleFunc("POST /apps", d.handleAddApp)
-	mux.HandleFunc("DELETE /apps/{name}", d.handleRemoveApp)
-	mux.HandleFunc("POST /apps/{name}/load", d.handleSetLoad)
-	mux.HandleFunc("POST /route/{name}", d.handleRoute)
-	mux.HandleFunc("GET /jobs", d.handleJobs)
-	mux.HandleFunc("POST /jobs", d.handleSubmitJob)
-	mux.HandleFunc("GET /nodes", d.handleListNodes)
-	mux.HandleFunc("POST /nodes", d.handleAddNode)
-	mux.HandleFunc("POST /nodes/{name}/drain", d.handleDrainNode)
-	mux.HandleFunc("POST /nodes/{name}/fail", d.handleFailNode)
-	mux.HandleFunc("DELETE /nodes/{name}", d.handleRemoveNode)
-	mux.HandleFunc("GET /state", d.handleState)
-	mux.HandleFunc("POST /state/snapshot", d.handleSnapshot)
+	classes := d.obs.responseClasses()
+	// Each route's histogram is pre-registered here, so request
+	// handling itself never takes a registry lock.
+	handle := func(pattern string, h http.HandlerFunc) {
+		ins := d.obs.newHTTPInstrument(pattern, &classes)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			begin := time.Now()
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			h(rec, r)
+			ins.dur.ObserveSince(begin)
+			if c := rec.status / 100; c >= 1 && c < len(ins.byClass) {
+				ins.byClass[c].Inc()
+			}
+		})
+	}
+	handle("GET /healthz", d.handleHealthz)
+	handle("GET /placement", d.handlePlacement)
+	handle("GET /metrics", d.handleMetrics)
+	handle("GET /metrics/prom", d.handleMetricsProm)
+	handle("GET /debug/cycles", d.handleCycles)
+	handle("GET /debug/cycles/{n}", d.handleCycle)
+	handle("GET /apps", d.handleListApps)
+	handle("POST /apps", d.handleAddApp)
+	handle("DELETE /apps/{name}", d.handleRemoveApp)
+	handle("POST /apps/{name}/load", d.handleSetLoad)
+	handle("POST /route/{name}", d.handleRoute)
+	handle("GET /jobs", d.handleJobs)
+	handle("POST /jobs", d.handleSubmitJob)
+	handle("GET /nodes", d.handleListNodes)
+	handle("POST /nodes", d.handleAddNode)
+	handle("POST /nodes/{name}/drain", d.handleDrainNode)
+	handle("POST /nodes/{name}/fail", d.handleFailNode)
+	handle("DELETE /nodes/{name}", d.handleRemoveNode)
+	handle("GET /state", d.handleState)
+	handle("POST /state/snapshot", d.handleSnapshot)
 	return mux
+}
+
+// statusRecorder captures the response status for the per-class
+// counters. Handlers that never call WriteHeader implicitly return
+// 200, which is the initial value.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
 }
 
 // AddAppRequest is the POST /apps body. Relative interprets the load
@@ -126,6 +166,35 @@ func (d *Daemon) handlePlacement(w http.ResponseWriter, _ *http.Request) {
 
 func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, d.Metrics())
+}
+
+func (d *Daemon) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = d.obs.reg.WritePrometheus(w)
+}
+
+func (d *Daemon) handleCycles(w http.ResponseWriter, _ *http.Request) {
+	traces := d.obs.tracer.Recent()
+	if traces == nil {
+		traces = []obs.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cycles": traces})
+}
+
+func (d *Daemon) handleCycle(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseInt(r.PathValue("n"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: bad cycle number %q", ErrDaemon, r.PathValue("n")))
+		return
+	}
+	view, ok := d.obs.tracer.Cycle(n)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: no retained trace for cycle %d", ErrNotFound, n))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (d *Daemon) handleListApps(w http.ResponseWriter, _ *http.Request) {

@@ -60,6 +60,17 @@ type Config struct {
 	RetainJobs int
 	// Logf, when set, receives one summary line per control cycle.
 	Logf func(format string, args ...any)
+	// Warnf, when set, receives warning-level lines (slow cycles,
+	// degraded durability). Defaults to Logf.
+	Warnf func(format string, args ...any)
+	// SlowCycleWarn is the wall-clock duration in seconds past which a
+	// control cycle logs a warning and increments the slow-cycle
+	// counter. 0 selects the default of 0.8×CycleSeconds; negative
+	// disables the warning.
+	SlowCycleWarn float64
+	// TraceCycles is how many recent cycle span-timelines the tracer
+	// retains for GET /debug/cycles (default 64).
+	TraceCycles int
 	// Store, when set, makes the daemon durable: every mutating API call
 	// and every applied cycle is journaled to the write-ahead log, and
 	// Recover replays it after a crash. The daemon takes ownership: a
@@ -143,6 +154,12 @@ type Daemon struct {
 	// store is configured.
 	recovered atomic.Bool
 	restarts  atomic.Int64
+
+	// obs is the observability surface: Prometheus registry, cycle
+	// tracer and the pre-registered instruments. Built once by New;
+	// the instruments themselves are atomics, so runCycle records into
+	// them under d.mu without lock-ordering obligations.
+	obs *obsState
 }
 
 // clock returns the active time source.
@@ -176,6 +193,15 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Warnf == nil {
+		cfg.Warnf = cfg.Logf
+	}
+	if cfg.SlowCycleWarn == 0 {
+		cfg.SlowCycleWarn = 0.8 * cfg.CycleSeconds
+	}
+	if cfg.TraceCycles <= 0 {
+		cfg.TraceCycles = 64
+	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 64
 	}
@@ -205,6 +231,12 @@ func New(cfg Config) (*Daemon, error) {
 		Nodes:            d.nodeViews(nil, nil),
 		InventoryVersion: planner.Inventory().Version(),
 	})
+	zones := cfg.Dynamic.Shards
+	if zones < 0 {
+		zones = 0
+	}
+	d.obs = d.newObsState(zones, cfg.TraceCycles)
+	d.obs.slowCycleSeconds = cfg.SlowCycleWarn
 	return d, nil
 }
 
@@ -469,6 +501,12 @@ func (d *Daemon) Health() HealthView {
 		status = "failing"
 	}
 	active := countActive(snap.Nodes)
+	storeFailed := ""
+	if d.store != nil {
+		// FailedReason is lock-free, preserving Health's never-blocks
+		// contract.
+		storeFailed = d.store.FailedReason()
+	}
 	return HealthView{
 		Status:           status,
 		Restarts:         int(d.restarts.Load()),
@@ -480,6 +518,7 @@ func (d *Daemon) Health() HealthView {
 		LiveJobs:         len(snap.Jobs),
 		ActiveNodes:      active,
 		InfeasibleStreak: snap.InfeasibleStreak,
+		StoreFailed:      storeFailed,
 	}
 }
 
@@ -831,6 +870,11 @@ func (d *Daemon) tick(gen int, now float64) {
 // runCycle is one control-loop iteration: observe, plan, act, publish.
 // Callers hold d.mu.
 func (d *Daemon) runCycle(now float64) {
+	// The trace opens with the cycle ordinal this iteration will get;
+	// d.cycles only advances under d.mu, so Load()+1 here equals the
+	// Add(1) below.
+	trace := d.obs.tracer.Begin(d.cycles.Load()+1, now)
+	endDemand := trace.Span("demand_update")
 	d.applyLoadSchedules(now)
 	for _, j := range d.jobs {
 		if j.Spec.Submit <= now {
@@ -855,8 +899,9 @@ func (d *Daemon) runCycle(now float64) {
 	}
 	d.jobs = keep
 	live := d.liveJobs(now)
+	endDemand()
 
-	plan, err := d.planner.Plan(now, d.cfg.CycleSeconds, live)
+	plan, err := d.planner.PlanTraced(now, d.cfg.CycleSeconds, live, trace)
 	cycle := d.cycles.Add(1)
 	if err != nil {
 		// Publish a snapshot that carries the failure rather than
@@ -895,14 +940,20 @@ func (d *Daemon) runCycle(now float64) {
 		})
 		// Even a failed cycle mutated durable state: completed jobs were
 		// retired and the cycle counter advanced.
+		endJournal := trace.Span("journal")
 		d.journalCycleLocked(cycle, now, live, retired, err)
+		endJournal()
+		d.recordCycleObs(d.obs.tracer.Finish(trace, err.Error()), true)
 		return
 	}
 	d.infeasibleStreak = 0
 
+	endApply := trace.Span("apply")
 	changed := scheduler.Apply(now, live, plan.Assignments, d.cfg.Costs, d.actions)
+	endApply()
 
 	// Republish dispatch weights, then swap the public snapshot.
+	endPublish := trace.Span("publish")
 	webApps := d.planner.WebApps()
 	snap := &PlacementSnapshot{
 		Cycle:            cycle,
@@ -980,13 +1031,20 @@ func (d *Daemon) runCycle(now float64) {
 	})
 	d.cfg.Logf("cycle %d t=%.1f: web=%d jobs=%d queued=%d changes=%d omegaG=%.0fMHz",
 		cycle, now, len(webApps), len(live), queued, changed, plan.OmegaG)
+	endPublish()
+	endJournal := trace.Span("journal")
 	d.journalCycleLocked(cycle, now, live, retired, nil)
+	endJournal()
 	if d.store != nil && d.snapshotEvery > 0 && cycle%int64(d.snapshotEvery) == 0 {
-		if err := d.writeSnapshotLocked(); err != nil {
+		endSnap := trace.Span("snapshot")
+		err := d.writeSnapshotLocked()
+		endSnap()
+		if err != nil {
 			d.walErrors++
 			d.cfg.Logf("cycle %d: snapshot failed: %v", cycle, err)
 		}
 	}
+	d.recordCycleObs(d.obs.tracer.Finish(trace, ""), false)
 }
 
 func (d *Daemon) nodeName(id cluster.NodeID) string {

@@ -136,6 +136,12 @@ type HealthView struct {
 	// healthy).
 	ActiveNodes      int `json:"activeNodes"`
 	InfeasibleStreak int `json:"infeasibleStreak,omitempty"`
+	// StoreFailed carries the durable store's poison reason: nonempty
+	// means the WAL refused further writes and acknowledged mutations
+	// are no longer durable. Also exported as the labeled
+	// dynplace_store_poisoned gauge on /metrics/prom so it is
+	// alertable, not only visible here and on GET /state.
+	StoreFailed string `json:"storeFailed,omitempty"`
 }
 
 // MetricsView is the GET /metrics body: lifetime action counters, the

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dynplace/internal/core"
+	"dynplace/internal/obs"
+	"dynplace/internal/router"
+)
+
+// ObsOverheadOptions parameterizes the observability-overhead
+// measurement: the scale sweep's placement cycle runs bare and then
+// wrapped in the daemon's full per-cycle instrumentation (trace spans,
+// cycle/span latency histograms, the bounded trace ring), and the
+// router's dispatch path is timed with and without its counters and
+// latency histogram installed. The contract is that telemetry is free
+// at control-cycle granularity: solve time dwarfs histogram
+// observation, and the dispatch-path delta stays in the tens of
+// nanoseconds.
+type ObsOverheadOptions struct {
+	// Nodes is the placement problem's cluster size (default 200).
+	Nodes int
+	// Cycles is how many interleaved instrumented/bare cycle pairs the
+	// best-of comparison draws from (default 8).
+	Cycles int
+	// DispatchIters is the router-dispatch timing loop length
+	// (default 200000).
+	DispatchIters int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+// DefaultObsOverheadOptions returns the benchmark's standard settings.
+func DefaultObsOverheadOptions() ObsOverheadOptions {
+	return ObsOverheadOptions{Nodes: 200, Cycles: 8, DispatchIters: 200000, Seed: 7}
+}
+
+// ObsOverheadRow is the measurement: mean placement-cycle latency bare
+// vs instrumented, and router dispatch cost bare vs instrumented.
+type ObsOverheadRow struct {
+	// Nodes, Apps and Cycles give the problem size and sample count.
+	Nodes, Apps, Cycles int
+	// BareCycle and InstrumentedCycle are best-of-Cycles placement-cycle
+	// wall times without and with the obs layer recording (interleaved,
+	// so both legs see the same machine conditions).
+	BareCycle, InstrumentedCycle time.Duration
+	// CycleOverheadPct is (instrumented − bare) / bare × 100. Negative
+	// values mean the delta drowned in run-to-run solver noise.
+	CycleOverheadPct float64
+	// DispatchBareNs and DispatchInstrumentedNs are per-call router
+	// dispatch costs without and with counters + latency histogram.
+	DispatchBareNs, DispatchInstrumentedNs float64
+}
+
+// RunObsOverhead measures what the observability layer costs on the two
+// paths it instruments: the control cycle and request dispatch.
+func RunObsOverhead(opts ObsOverheadOptions) (ObsOverheadRow, error) {
+	def := DefaultObsOverheadOptions()
+	if opts.Nodes <= 0 {
+		opts.Nodes = def.Nodes
+	}
+	if opts.Cycles <= 0 {
+		opts.Cycles = def.Cycles
+	}
+	if opts.DispatchIters <= 0 {
+		opts.DispatchIters = def.DispatchIters
+	}
+
+	p, err := buildScaleProblem(ScaleSweepOptions{Seed: opts.Seed, MaxPasses: 1,
+		JobsPerHundredNodes: 10, WebApps: 2, CycleSeconds: 600}, opts.Nodes)
+	if err != nil {
+		return ObsOverheadRow{}, fmt.Errorf("obs overhead: %w", err)
+	}
+	p.Parallelism = 1
+	row := ObsOverheadRow{Nodes: opts.Nodes, Apps: len(p.Apps), Cycles: opts.Cycles}
+
+	// Warm-up solve, as in the scale sweep: both legs then run with warm
+	// caches so the comparison isolates the instrumentation.
+	if _, err := core.Optimize(p); err != nil {
+		return ObsOverheadRow{}, fmt.Errorf("obs overhead (warm-up): %w", err)
+	}
+
+	// Instrumentation for the instrumented leg: the daemon's per-cycle
+	// recording pattern — a trace with spans around each stage, then
+	// every span folded into a latency histogram and the trace retained
+	// in the ring.
+	reg := obs.NewRegistry()
+	cycleDur := reg.Histogram("obs_overhead_cycle_seconds", "probe", obs.ExpBuckets(0.0005, 2, 16))
+	spanDur := map[string]*obs.Histogram{}
+	for _, name := range []string{"build_problem", "solve", "extract"} {
+		spanDur[name] = reg.Histogram("obs_overhead_span_seconds", "probe",
+			obs.ExpBuckets(0.00005, 2, 16), "span", name)
+	}
+	tracer := obs.NewTracer(64)
+
+	// The true delta per cycle is a handful of clock reads and histogram
+	// observes — microseconds against a solve that takes tens of
+	// milliseconds — so run-to-run solver noise dwarfs it. Interleave
+	// the legs and compare best-of-N, which cancels the noise instead of
+	// averaging it in.
+	bare := time.Duration(1<<63 - 1)
+	instrumented := bare
+	for i := 0; i < opts.Cycles; i++ {
+		start := time.Now()
+		if _, err := core.Optimize(p); err != nil {
+			return ObsOverheadRow{}, fmt.Errorf("obs overhead (bare): %w", err)
+		}
+		if d := time.Since(start); d < bare {
+			bare = d
+		}
+
+		start = time.Now()
+		ct := tracer.Begin(int64(i), 0)
+		endBuild := ct.Span("build_problem")
+		endBuild()
+		endSolve := ct.Span("solve")
+		if _, err := core.Optimize(p); err != nil {
+			return ObsOverheadRow{}, fmt.Errorf("obs overhead (instrumented): %w", err)
+		}
+		endSolve()
+		endExtract := ct.Span("extract")
+		endExtract()
+		view := tracer.Finish(ct, "")
+		cycleDur.Observe(float64(view.DurationMicros) / 1e6)
+		for _, sp := range view.Spans {
+			spanDur[sp.Name].Observe(float64(sp.DurationMicros) / 1e6)
+		}
+		if d := time.Since(start); d < instrumented {
+			instrumented = d
+		}
+	}
+	row.BareCycle = bare
+	row.InstrumentedCycle = instrumented
+	if row.BareCycle > 0 {
+		row.CycleOverheadPct = 100 * (row.InstrumentedCycle.Seconds() - row.BareCycle.Seconds()) /
+			row.BareCycle.Seconds()
+	}
+
+	row.DispatchBareNs, row.DispatchInstrumentedNs = timeDispatch(opts.DispatchIters)
+	return row, nil
+}
+
+// timeDispatch measures the router's per-request dispatch cost without
+// and with the obs instruments installed.
+func timeDispatch(iters int) (bareNs, instrNs float64) {
+	rt := router.New(-1)
+	rt.Update("probe", []router.Instance{
+		{Node: "n0", PowerMHz: 1000},
+		{Node: "n1", PowerMHz: 2000},
+		{Node: "n2", PowerMHz: 1000},
+	})
+	run := func() float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			pick := float64(i%1000) / 1000
+			if _, err := rt.Dispatch("probe", pick); err != nil {
+				return 0
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	run() // warm-up
+	bareNs = run()
+	rt.SetInstruments(&router.Instruments{
+		Dispatched: &obs.Counter{},
+		Queued:     &obs.Counter{},
+		Rejected:   &obs.Counter{},
+		Unknown:    &obs.Counter{},
+		Latency:    obs.NewHistogram(obs.ExpBuckets(1e-7, 4, 8)),
+	})
+	instrNs = run()
+	return bareNs, instrNs
+}
+
+// ObsOverheadTable formats the measurement for the benchmark log and
+// the CI artifact.
+func ObsOverheadTable(r ObsOverheadRow) string {
+	var b strings.Builder
+	b.WriteString("Obs overhead — instrumented vs bare placement cycle and router dispatch\n")
+	b.WriteString("  nodes   apps  cycles        bare  instrumented  overhead  dispatch-bare  dispatch-instr\n")
+	fmt.Fprintf(&b, "  %5d  %5d  %6d  %10s  %12s  %7.2f%%  %11.1fns  %12.1fns\n",
+		r.Nodes, r.Apps, r.Cycles,
+		r.BareCycle.Round(time.Microsecond), r.InstrumentedCycle.Round(time.Microsecond),
+		r.CycleOverheadPct, r.DispatchBareNs, r.DispatchInstrumentedNs)
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunObsOverheadSmall runs the overhead probe at a toy size and
+// checks the measurement is well-formed: both legs completed, dispatch
+// timings are plausible, and the table renders.
+func TestRunObsOverheadSmall(t *testing.T) {
+	row, err := RunObsOverhead(ObsOverheadOptions{Nodes: 40, Cycles: 2, DispatchIters: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BareCycle <= 0 || row.InstrumentedCycle <= 0 {
+		t.Fatalf("cycle timings not positive: bare=%v instrumented=%v",
+			row.BareCycle, row.InstrumentedCycle)
+	}
+	if row.DispatchBareNs <= 0 || row.DispatchInstrumentedNs <= 0 {
+		t.Fatalf("dispatch timings not positive: bare=%v instrumented=%v",
+			row.DispatchBareNs, row.DispatchInstrumentedNs)
+	}
+	if row.DispatchInstrumentedNs > 10000 {
+		t.Errorf("instrumented dispatch = %.0fns per call, implausibly slow", row.DispatchInstrumentedNs)
+	}
+	table := ObsOverheadTable(row)
+	if !strings.Contains(table, "dispatch-instr") {
+		t.Errorf("table missing dispatch column:\n%s", table)
+	}
+	if err := WriteBenchJSON(t.TempDir(), "obs_overhead", row); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -260,7 +260,11 @@ func JainIndex(values []float64) float64 {
 	return sum * sum / (float64(len(values)) * sumSq)
 }
 
-// Counter accumulates named integer counts deterministically.
+// Counter accumulates named integer counts deterministically. It is
+// not safe for concurrent use; the caller serializes writers against
+// readers (the daemon increments and reads only under its control-loop
+// mutex, including the /metrics/prom collect callbacks). Hot paths that
+// cannot afford a lock want obs.Counter instead.
 type Counter struct {
 	counts map[string]int
 }

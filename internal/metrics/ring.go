@@ -5,6 +5,12 @@ package metrics
 // store: observations accumulate forever, memory stays bounded, and the
 // HTTP API serves the retained window. The zero value is not usable;
 // construct with NewRing.
+//
+// Ring is not safe for concurrent use; the caller serializes Push
+// against Snapshot/Last (the daemon does both under its control-loop
+// mutex — GET /metrics copies the window inside that lock). Callers
+// that need lock-free observation on a hot path want internal/obs
+// instead.
 type Ring[T any] struct {
 	buf   []T
 	start int

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one series line from an exposition: the metric name
+// (including any _bucket/_sum/_count suffix), its labels in order of
+// appearance, and the parsed value.
+type ParsedSample struct {
+	Name   string
+	Labels [][2]string
+	Value  float64
+}
+
+// Label returns the value of the named label and whether it was
+// present.
+func (s ParsedSample) Label(key string) (string, bool) {
+	for _, kv := range s.Labels {
+		if kv[0] == key {
+			return kv[1], true
+		}
+	}
+	return "", false
+}
+
+// SeriesKey identifies the sample uniquely: name plus sorted labels.
+func (s ParsedSample) SeriesKey() string {
+	lbl := make([]string, 0, len(s.Labels))
+	for _, kv := range s.Labels {
+		lbl = append(lbl, kv[0]+"="+kv[1])
+	}
+	sort.Strings(lbl)
+	return s.Name + "{" + strings.Join(lbl, ",") + "}"
+}
+
+// ParsedFamily is one metric family from an exposition: metadata plus
+// every sample line that belongs to it (for histograms, the _bucket,
+// _sum and _count series).
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// Exposition is a parsed and validated scrape.
+type Exposition struct {
+	Families map[string]*ParsedFamily
+	Order    []string
+}
+
+// Value returns the value of the series with the given name and
+// alternating label key/value pairs, and whether it exists.
+func (e *Exposition) Value(name string, labels ...string) (float64, bool) {
+	f, ok := e.Families[name]
+	if !ok {
+		f, ok = e.Families[baseName(name)]
+	}
+	if !ok {
+		return 0, false
+	}
+	_, want := splitLabels(labels)
+	keys := labels
+	for _, s := range f.Samples {
+		if s.Name != name || len(s.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for i := 0; i < len(keys); i += 2 {
+			got, ok := s.Label(keys[i])
+			if !ok || got != keys[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// baseName strips a histogram sample suffix so _bucket/_sum/_count
+// lines attach to their family.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ParseExposition parses Prometheus text exposition (version 0.0.4)
+// and validates it promlint-style: well-formed HELP/TYPE lines
+// preceding their samples, legal metric and label names, parseable
+// values, no duplicate series, counters non-negative, and histograms
+// with cumulative non-decreasing buckets ending in a +Inf bucket that
+// matches _count. It returns the parsed families on success.
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*ParsedFamily)}
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseMetaLine(exp, line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSampleLine(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		key := s.SeriesKey()
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		// A sample belongs to the family of its exact name if one is
+		// declared; otherwise a _bucket/_sum/_count suffix attaches it
+		// to its histogram (or summary) family.
+		f, ok := exp.Families[s.Name]
+		if !ok {
+			base := baseName(s.Name)
+			f, ok = exp.Families[base]
+			if ok && f.Type != "histogram" && f.Type != "summary" {
+				ok = false
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE line", lineNo, s.Name)
+		}
+		if f.Type == "counter" && s.Value < 0 {
+			return nil, fmt.Errorf("line %d: counter %s has negative value %v", lineNo, s.Name, s.Value)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	for _, name := range exp.Order {
+		f := exp.Families[name]
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return exp, nil
+}
+
+func parseMetaLine(exp *Exposition, line string, lineNo int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: HELP without metric name", lineNo)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if _, ok := exp.Families[name]; ok {
+			return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		exp.Families[name] = &ParsedFamily{Name: name, Help: help}
+		exp.Order = append(exp.Order, name)
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+		}
+		f, ok := exp.Families[name]
+		if !ok {
+			f = &ParsedFamily{Name: name}
+			exp.Families[name] = f
+			exp.Order = append(exp.Order, name)
+		}
+		if f.Type != "" {
+			return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` (optional timestamp
+// rejected — we never emit one).
+func parseSampleLine(line string, lineNo int) (ParsedSample, error) {
+	var s ParsedSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest, lineNo)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("line %d: malformed sample line %q", lineNo, line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad value %q: %v", lineNo, rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `{k="v",...}` at the start of s and returns the
+// index just past the closing brace.
+func parseLabels(s string, lineNo int) (int, [][2]string, error) {
+	var labels [][2]string
+	seen := make(map[string]bool)
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("line %d: unterminated label set", lineNo)
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		key := s[i:j]
+		if !validLabelName(key) && key != "le" && key != "quantile" {
+			return 0, nil, fmt.Errorf("line %d: invalid label name %q", lineNo, key)
+		}
+		if seen[key] {
+			return 0, nil, fmt.Errorf("line %d: duplicate label %q", lineNo, key)
+		}
+		seen[key] = true
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, nil, fmt.Errorf("line %d: label %q missing quoted value", lineNo, key)
+		}
+		j += 2
+		var val strings.Builder
+		for {
+			if j >= len(s) {
+				return 0, nil, fmt.Errorf("line %d: unterminated label value for %q", lineNo, key)
+			}
+			c := s[j]
+			if c == '"' {
+				j++
+				break
+			}
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return 0, nil, fmt.Errorf("line %d: dangling escape in label %q", lineNo, key)
+				}
+				switch s[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("line %d: bad escape \\%c in label %q", lineNo, s[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			val.WriteByte(c)
+			j++
+		}
+		labels = append(labels, [2]string{key, val.String()})
+		if j < len(s) && s[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}
+
+// validateHistogram checks each label-subgroup of a histogram family:
+// buckets cumulative and non-decreasing, a +Inf bucket present, and
+// _count equal to the +Inf bucket.
+func validateHistogram(f *ParsedFamily) error {
+	type group struct {
+		lastLe  float64
+		lastCum float64
+		infCum  float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+	}
+	groups := make(map[string]*group)
+	keyOf := func(s ParsedSample) string {
+		lbl := make([]string, 0, len(s.Labels))
+		for _, kv := range s.Labels {
+			if kv[0] == "le" {
+				continue
+			}
+			lbl = append(lbl, kv[0]+"="+kv[1])
+		}
+		sort.Strings(lbl)
+		return strings.Join(lbl, ",")
+	}
+	get := func(k string) *group {
+		g, ok := groups[k]
+		if !ok {
+			g = &group{lastLe: math.Inf(-1)}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(keyOf(s))
+		switch {
+		case s.Name == f.Name+"_bucket":
+			leStr, ok := s.Label("le")
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket sample without le label", f.Name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			if le <= g.lastLe {
+				return fmt.Errorf("histogram %s: le %q out of order", f.Name, leStr)
+			}
+			if s.Value < g.lastCum {
+				return fmt.Errorf("histogram %s: bucket le=%q count %v below previous %v (not cumulative)", f.Name, leStr, s.Value, g.lastCum)
+			}
+			g.lastLe, g.lastCum = le, s.Value
+			if math.IsInf(le, 1) {
+				g.hasInf, g.infCum = true, s.Value
+			}
+		case s.Name == f.Name+"_count":
+			g.count, g.hasCnt = s.Value, true
+		}
+	}
+	for k, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", f.Name, k)
+		}
+		if g.hasCnt && g.count != g.infCum {
+			return fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", f.Name, k, g.count, g.infCum)
+		}
+	}
+	return nil
+}

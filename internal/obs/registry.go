@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentType is the Prometheus text exposition content type the
+// encoder produces.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Sample is one dynamically labeled gauge reading produced by a
+// sampler callback: alternating label key/value pairs plus the value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// kind is a family's Prometheus metric type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled series (or series group, for histograms) of a
+// family. Exactly one of the value fields is set.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	counterFn   func() float64
+	gaugeFn     func() float64
+}
+
+// family is one metric name: its metadata and every labeled child.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labelKeys []string
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+
+	// sampler, when set, replaces children entirely: the callback is
+	// invoked at collect time and may return a different label set on
+	// every scrape (e.g. per-application gauges).
+	sampler func() []Sample
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Registration is idempotent get-or-create: asking for
+// the same name and label values returns the same instrument, so
+// call sites need no "already registered" bookkeeping. Registration
+// and encoding are safe for concurrent use; misuse that would emit an
+// invalid exposition (bad names, label-key mismatches within a
+// family, kind conflicts) panics at registration time, keeping the
+// scrape path infallible.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// splitLabels validates and splits alternating key/value pairs.
+func splitLabels(labels []string) (keys, values []string) {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key/value pairs")
+	}
+	n := len(labels) / 2
+	keys = make([]string, 0, n)
+	values = make([]string, 0, n)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		keys = append(keys, labels[i])
+		values = append(values, labels[i+1])
+	}
+	return keys, values
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// familyFor returns the named family, creating it on first use and
+// enforcing that every later registration agrees on kind, help and
+// label keys.
+func (r *Registry) familyFor(name, help string, k kind, labelKeys []string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:      name,
+			help:      help,
+			kind:      k,
+			labelKeys: labelKeys,
+			children:  make(map[string]*child),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, k))
+	}
+	if !sameStrings(f.labelKeys, labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q label keys %v conflict with %v", name, f.labelKeys, labelKeys))
+	}
+	return f
+}
+
+// childKey joins label values unambiguously (values may contain any
+// bytes, so a separator alone would collide).
+func childKey(values []string) string {
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// childFor returns the family's child for the label values, creating
+// it with mk on first use.
+func (f *family) childFor(values []string, mk func() *child) *child {
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sampler != nil {
+		panic(fmt.Sprintf("obs: metric %q is sampler-backed", f.name))
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = mk()
+		c.labelValues = values
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter returns the counter for name and the alternating label
+// key/value pairs, registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	keys, values := splitLabels(labels)
+	f := r.familyFor(name, help, kindCounter, keys)
+	c := f.childFor(values, func() *child { return &child{counter: &Counter{}} })
+	if c.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q series registered with a different backing", name))
+	}
+	return c.counter
+}
+
+// Gauge returns the gauge for name and labels, registering it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	keys, values := splitLabels(labels)
+	f := r.familyFor(name, help, kindGauge, keys)
+	c := f.childFor(values, func() *child { return &child{gauge: &Gauge{}} })
+	if c.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q series registered with a different backing", name))
+	}
+	return c.gauge
+}
+
+// Histogram returns the histogram for name and labels, registering it
+// with the given bucket bounds on first use (later calls reuse the
+// existing buckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	keys, values := splitLabels(labels)
+	f := r.familyFor(name, help, kindHistogram, keys)
+	c := f.childFor(values, func() *child { return &child{hist: NewHistogram(bounds)} })
+	if c.hist == nil {
+		panic(fmt.Sprintf("obs: metric %q series registered with a different backing", name))
+	}
+	return c.hist
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at collect time. fn must be safe to call from the scrape goroutine
+// and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	keys, values := splitLabels(labels)
+	f := r.familyFor(name, help, kindCounter, keys)
+	f.childFor(values, func() *child { return &child{counterFn: fn} })
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// collect time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	keys, values := splitLabels(labels)
+	f := r.familyFor(name, help, kindGauge, keys)
+	f.childFor(values, func() *child { return &child{gaugeFn: fn} })
+}
+
+// GaugeSampler registers a gauge family whose entire series set is
+// produced by fn at collect time — for families whose label values
+// are dynamic (per-application, per-zone on a changing topology). The
+// callback owns ordering; return samples in a stable order for
+// deterministic output.
+func (r *Registry) GaugeSampler(name, help string, fn func() []Sample) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kindGauge, sampler: fn}
+	r.order = append(r.order, name)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSeries writes one sample line: name, merged labels (extra is
+// appended after the family keys, for le), and the value.
+func writeSeries(b *strings.Builder, name string, keys, values []string, extraKey, extraVal, value string) {
+	b.WriteString(name)
+	if len(keys) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(keys[i])
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if len(keys) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// WritePrometheus renders every registered family in registration
+// order as Prometheus text exposition (version 0.0.4). Collect-time
+// callbacks (CounterFunc, GaugeFunc, GaugeSampler) run after all
+// registry and family locks are released, so they may take arbitrary
+// caller locks without ordering constraints against registration.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		var kids []*child
+		if f.sampler == nil {
+			f.mu.Lock()
+			kids = make([]*child, 0, len(f.order))
+			for _, key := range f.order {
+				kids = append(kids, f.children[key])
+			}
+			f.mu.Unlock()
+		}
+
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+
+		if f.sampler != nil {
+			for _, s := range f.sampler() {
+				keys, values := splitLabels(s.Labels)
+				writeSeries(&b, f.name, keys, values, "", "", formatValue(s.Value))
+			}
+			continue
+		}
+		for _, c := range kids {
+			switch {
+			case c.counter != nil:
+				writeSeries(&b, f.name, f.labelKeys, c.labelValues, "", "", formatValue(float64(c.counter.Value())))
+			case c.counterFn != nil:
+				writeSeries(&b, f.name, f.labelKeys, c.labelValues, "", "", formatValue(c.counterFn()))
+			case c.gauge != nil:
+				writeSeries(&b, f.name, f.labelKeys, c.labelValues, "", "", formatValue(c.gauge.Value()))
+			case c.gaugeFn != nil:
+				writeSeries(&b, f.name, f.labelKeys, c.labelValues, "", "", formatValue(c.gaugeFn()))
+			case c.hist != nil:
+				snap := c.hist.Snapshot()
+				var cum uint64
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					writeSeries(&b, f.name+"_bucket", f.labelKeys, c.labelValues,
+						"le", formatValue(bound), strconv.FormatUint(cum, 10))
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				writeSeries(&b, f.name+"_bucket", f.labelKeys, c.labelValues,
+					"le", "+Inf", strconv.FormatUint(cum, 10))
+				writeSeries(&b, f.name+"_sum", f.labelKeys, c.labelValues, "", "", formatValue(snap.Sum))
+				writeSeries(&b, f.name+"_count", f.labelKeys, c.labelValues, "", "", strconv.FormatUint(cum, 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

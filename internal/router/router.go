@@ -13,6 +13,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynplace/internal/obs"
 )
 
 // Instance is one placement target for an application.
@@ -36,12 +40,31 @@ type Stats struct {
 	PerNode map[string]int
 }
 
+// Instruments is the set of observability hooks on the dispatch path.
+// Any field may be nil; obs instruments are nil-safe, so dispatch
+// records unconditionally into whatever is present.
+type Instruments struct {
+	// Dispatched, Queued, Rejected and Unknown count Dispatch calls by
+	// outcome.
+	Dispatched *obs.Counter
+	Queued     *obs.Counter
+	Rejected   *obs.Counter
+	Unknown    *obs.Counter
+	// Latency observes each Dispatch call's duration in seconds.
+	Latency *obs.Histogram
+}
+
 // Router dispatches requests for a set of applications. It is safe for
 // concurrent use.
 type Router struct {
 	mu       sync.Mutex
 	apps     map[string]*appState
 	queueCap int
+	// ins holds the optional dispatch-path instruments. An atomic
+	// pointer rather than a field under mu: the hot path must not
+	// lengthen the critical section or take the lock twice, and the
+	// instruments can be installed after the router is already serving.
+	ins atomic.Pointer[Instruments]
 }
 
 type appState struct {
@@ -97,12 +120,44 @@ func (r *Router) Remove(app string) {
 	delete(r.apps, app)
 }
 
+// SetInstruments installs (or, with nil, removes) the dispatch-path
+// observability hooks. Safe to call while the router is serving.
+func (r *Router) SetInstruments(ins *Instruments) { r.ins.Store(ins) }
+
 // Dispatch routes one request. pick ∈ [0,1) selects the instance among
 // the weighted alternatives (callers pass an RNG sample; passing a
 // deterministic value makes tests exact). It returns the chosen node.
 // When the application has no capacity the request is queued, or rejected
 // if the queue is full.
 func (r *Router) Dispatch(app string, pick float64) (node string, err error) {
+	ins := r.ins.Load()
+	if ins == nil {
+		return r.dispatch(app, pick)
+	}
+	var begin time.Time
+	if ins.Latency != nil {
+		begin = time.Now()
+	}
+	node, err = r.dispatch(app, pick)
+	// Outcome accounting happens outside the router lock; the counters
+	// are atomic and nil-safe.
+	switch {
+	case err == nil && node != "":
+		ins.Dispatched.Inc()
+	case err == nil:
+		ins.Queued.Inc()
+	case errors.Is(err, ErrRejected):
+		ins.Rejected.Inc()
+	default:
+		ins.Unknown.Inc()
+	}
+	if ins.Latency != nil {
+		ins.Latency.ObserveSince(begin)
+	}
+	return node, err
+}
+
+func (r *Router) dispatch(app string, pick float64) (node string, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st, ok := r.apps[app]

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"time"
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
@@ -112,7 +113,24 @@ type Coordinator struct {
 	// and is dropped; the repartition itself falls out of newLayout,
 	// which is a pure function of the current node count.
 	prevFingerprint uint64
+	// lastTimings is the most recent Solve's phase timing breakdown,
+	// retained for the cycle tracer.
+	lastTimings Timings
 }
+
+// Timings is the wall-clock phase breakdown of one Solve call,
+// measured from Solve entry: the rebalance-and-partition prologue, the
+// start offset of each zone's solve goroutine (zones overlap; the
+// per-zone durations live in Stats.SolveMillis), and the merge/verify
+// epilogue. Drivers turn it into trace spans.
+type Timings struct {
+	Rebalance time.Duration
+	Merge     time.Duration
+	ZoneStart []time.Duration
+}
+
+// Timings returns the phase breakdown of the most recent Solve.
+func (c *Coordinator) Timings() Timings { return c.lastTimings }
 
 // clusterFingerprint hashes the node set as the zone math sees it: the
 // count and each dense position's name and CPU/memory capacity. A count

@@ -39,6 +39,8 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	begin := time.Now()
+	timings := Timings{}
 	lay := newLayout(p.Cluster.Len(), c.cfg.Count)
 	if fp := clusterFingerprint(p.Cluster); fp != c.prevFingerprint {
 		// The node set changed since the retained stats were computed:
@@ -49,6 +51,8 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 	}
 	st := c.rebalance(p, lay)
 	subs := buildSubproblems(p, lay, st)
+	timings.Rebalance = time.Since(begin)
+	timings.ZoneStart = make([]time.Duration, lay.count)
 
 	stats := make([]Stats, lay.count)
 	results := make([]*core.Result, lay.count)
@@ -69,14 +73,15 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 			defer func() { <-sem }()
 			sub := subs[s]
 			sub.p.Parallelism = inner
-			begin := time.Now()
+			solveBegin := time.Now()
+			timings.ZoneStart[s] = solveBegin.Sub(begin)
 			res, cold, err := solveZone(sub.p)
 			stats[s] = Stats{
 				Shard:       s,
 				Nodes:       sub.p.Cluster.Len(),
 				CPUMHz:      sub.p.Cluster.TotalCPU(),
 				MemMB:       sub.p.Cluster.TotalMem(),
-				SolveMillis: float64(time.Since(begin)) / float64(time.Millisecond),
+				SolveMillis: float64(time.Since(solveBegin)) / float64(time.Millisecond),
 				ColdRestart: cold,
 			}
 			results[s], errs[s] = res, err
@@ -89,9 +94,12 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 		}
 	}
 
+	mergeBegin := time.Now()
 	merged := c.merge(p, lay, st, subs, results, stats)
 	c.persist(p, st)
+	timings.Merge = time.Since(mergeBegin)
 	c.prev = stats
+	c.lastTimings = timings
 	return merged, stats, nil
 }
 

@@ -28,6 +28,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"dynplace/internal/obs"
 )
 
 const (
@@ -86,6 +90,17 @@ type Store struct {
 	// WriteSnapshot is refused rather than appending after garbage and
 	// making already-acknowledged history unrecoverable.
 	failed error
+	// failedReason mirrors failed's message for lock-free readers: the
+	// daemon's health endpoint reports the poison reason without taking
+	// the daemon lock, so it must not go through Info.
+	failedReason atomic.Pointer[string]
+
+	// appendHist, fsyncHist and snapHist observe write-path latencies
+	// in seconds when installed via Instrument; nil instruments are
+	// no-ops.
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
+	snapHist   *obs.Histogram
 
 	seq        uint64
 	walBytes   int64
@@ -335,10 +350,32 @@ func (s *Store) usable() error {
 // poison marks the store permanently failed and releases the WAL handle.
 func (s *Store) poison(err error) {
 	s.failed = err
+	reason := err.Error()
+	s.failedReason.Store(&reason)
 	if s.wal != nil {
 		s.wal.Close()
 		s.wal = nil
 	}
+}
+
+// FailedReason returns the poison reason, or "" while the store is
+// healthy. Unlike the other methods it is safe to call concurrently
+// with writes — health endpoints read it without any lock.
+func (s *Store) FailedReason() string {
+	if r := s.failedReason.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
+// Instrument installs write-path latency histograms: appendH observes
+// each Append call end to end, fsyncH the WAL fsync alone, and snapH
+// each WriteSnapshot. Any histogram may be nil. Call before the store
+// starts serving; the fields are read by the (serialized) write path.
+func (s *Store) Instrument(appendH, fsyncH, snapH *obs.Histogram) {
+	s.appendHist = appendH
+	s.fsyncHist = fsyncH
+	s.snapHist = snapH
 }
 
 // checkFrameSize refuses payloads the reader would reject as corrupt:
@@ -367,6 +404,8 @@ func (s *Store) Append(rec Record) (uint64, error) {
 	if err := s.usable(); err != nil {
 		return 0, err
 	}
+	begin := time.Now()
+	defer s.appendHist.ObserveSince(begin)
 	rec.V = SchemaVersion
 	rec.Seq = s.seq + 1
 	payload, err := json.Marshal(&rec)
@@ -383,7 +422,10 @@ func (s *Store) Append(rec Record) (uint64, error) {
 		}
 		return 0, fmt.Errorf("store: append: %w", err)
 	}
-	if err := s.wal.Sync(); err != nil {
+	fsyncBegin := time.Now()
+	err = s.wal.Sync()
+	s.fsyncHist.ObserveSince(fsyncBegin)
+	if err != nil {
 		// The frame is fully written but its durability is unknowable, and
 		// the caller will treat the mutation as failed — best-effort drop
 		// it so a restart does not replay a record the API refused. The
@@ -408,6 +450,8 @@ func (s *Store) WriteSnapshot(st *State) error {
 	if err := s.usable(); err != nil {
 		return err
 	}
+	begin := time.Now()
+	defer s.snapHist.ObserveSince(begin)
 	st.V = SchemaVersion
 	st.Seq = s.seq
 	payload, err := json.Marshal(st)
