@@ -44,10 +44,11 @@ shuffle:
 	$(GO) test -count=2 -shuffle=on ./...
 
 # The CI bench-smoke job: one scale-sweep + churn-sweep + recovery-sweep
-# + obs-overhead run, tables on stdout and BENCH_*.json rows in the
-# working directory.
+# + obs-overhead + router-sweep run, tables on stdout and BENCH_*.json
+# rows in the working directory. The router sweep also gates dispatch
+# ns/op and allocs/op against scripts/router_baseline.json.
 bench:
-	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep|BenchmarkRecoverySweep|BenchmarkObsOverhead' -benchtime=1x .
+	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep|BenchmarkRecoverySweep|BenchmarkObsOverhead|BenchmarkRouterSweep' -benchtime=1x .
 
 # The CI restart-recovery job: kill -9 a durable dynplaced and assert
 # the restarted daemon serves the pre-kill placement.

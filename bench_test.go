@@ -12,9 +12,11 @@ package dynplace_test
 // choices DESIGN.md calls out.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -578,6 +580,108 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.ReportMetric(row.CycleOverheadPct, "cycle-overhead-pct")
 	b.ReportMetric(row.DispatchBareNs, "dispatch-bare-ns")
 	b.ReportMetric(row.DispatchInstrumentedNs, "dispatch-instr-ns")
+}
+
+// routerBaseline mirrors scripts/router_baseline.json: the committed
+// single-goroutine dispatch numbers BenchmarkRouterSweep gates against.
+type routerBaseline struct {
+	// SingleNsPerOp is the committed single-goroutine lock-free
+	// dispatch cost on the reference machine.
+	SingleNsPerOp float64 `json:"singleNsPerOp"`
+	// AllocsPerOp is the committed allocation count (zero; any
+	// regression is a hot-path leak).
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// MaxRegressionFactor absorbs machine-to-machine variance: the gate
+	// fails only past SingleNsPerOp × MaxRegressionFactor.
+	MaxRegressionFactor float64 `json:"maxRegressionFactor"`
+}
+
+// BenchmarkRouterSweep measures router dispatch throughput — lock-free
+// dataplane vs the mutex-serialized baseline — at 1/4/NumCPU goroutines,
+// with and without a concurrent control loop republishing the routing
+// table. CI runs it with -benchtime=1x next to the other sweeps and
+// uploads BENCH_router.json.
+//
+// The sweep enforces the dataplane contract: dispatch performs zero
+// heap allocations; at NumCPU goroutines the lock-free router clears
+// ≥5x the mutex baseline's single-goroutine throughput (enforced on
+// machines with ≥4 CPUs — below that the scaling headroom doesn't
+// exist); and single-goroutine dispatch cost must stay within the
+// committed scripts/router_baseline.json envelope so regressions fail
+// the PR that introduces them instead of surfacing in a graph later.
+func BenchmarkRouterSweep(b *testing.B) {
+	opts := experiments.DefaultRouterSweepOptions()
+	var rows []experiments.RouterSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunRouterSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.RouterSweepTable(rows))
+	writeBenchJSON(b, "router", rows)
+
+	find := func(impl string, goroutines int, republish bool) *experiments.RouterSweepRow {
+		for i := range rows {
+			r := &rows[i]
+			if r.Impl == impl && r.Goroutines == goroutines && r.Republish == republish {
+				return r
+			}
+		}
+		return nil
+	}
+	single := find("lockfree", 1, false)
+	mutexSingle := find("mutex", 1, false)
+	if single == nil || mutexSingle == nil {
+		b.Fatal("router sweep missing the single-goroutine reference rows")
+	}
+
+	// Contract: the hot path allocates nothing.
+	if single.AllocsPerOp > 0 {
+		b.Fatalf("lock-free dispatch allocates %.2f allocs/op, want 0", single.AllocsPerOp)
+	}
+
+	// Contract: scaling. At NumCPU goroutines the lock-free router must
+	// clear 5x the mutex baseline's single-goroutine throughput. Below
+	// 4 CPUs the parallelism to demonstrate that doesn't exist, so the
+	// ratio is reported but not enforced.
+	maxG := 0
+	for _, r := range rows {
+		if r.Impl == "lockfree" && !r.Republish && r.Goroutines > maxG {
+			maxG = r.Goroutines
+		}
+	}
+	scaled := find("lockfree", maxG, false)
+	ratio := scaled.MopsPerSec / mutexSingle.MopsPerSec
+	b.ReportMetric(ratio, "throughput-x-mutex1")
+	b.ReportMetric(single.NsPerOp, "dispatch-ns")
+	b.ReportMetric(scaled.MopsPerSec, "mops-maxg")
+	if runtime.NumCPU() >= 4 && ratio < 5 {
+		b.Fatalf("lock-free at %d goroutines = %.2f Mops/s, only %.1fx mutex single-goroutine %.2f Mops/s (want ≥5x)",
+			maxG, scaled.MopsPerSec, ratio, mutexSingle.MopsPerSec)
+	}
+
+	// Regression gate against the committed baseline.
+	data, err := os.ReadFile("scripts/router_baseline.json")
+	if err != nil {
+		b.Fatalf("router baseline: %v", err)
+	}
+	var base routerBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		b.Fatalf("router baseline: %v", err)
+	}
+	if base.MaxRegressionFactor <= 1 {
+		b.Fatalf("router baseline: maxRegressionFactor %.2f must exceed 1", base.MaxRegressionFactor)
+	}
+	if single.AllocsPerOp > base.AllocsPerOp {
+		b.Fatalf("dispatch allocs/op %.2f exceeds committed baseline %.2f",
+			single.AllocsPerOp, base.AllocsPerOp)
+	}
+	if limit := base.SingleNsPerOp * base.MaxRegressionFactor; single.NsPerOp > limit {
+		b.Fatalf("single-goroutine dispatch %.1f ns/op exceeds %.1f (committed %.1f × %.1f headroom)",
+			single.NsPerOp, limit, base.SingleNsPerOp, base.MaxRegressionFactor)
+	}
 }
 
 // writeBenchJSON emits the sweep rows as BENCH_<name>.json when the CI

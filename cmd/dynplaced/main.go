@@ -3,11 +3,16 @@
 // cycle against the current workload registry and node inventory, swaps
 // the placement in atomically, and republishes request-dispatch weights.
 // Workloads are added, observed and removed over a JSON HTTP API without
-// restarts, and so are nodes: machines join (POST /nodes), drain
-// gracefully (POST /nodes/{name}/drain), fail abruptly
-// (POST /nodes/{name}/fail — jobs are rescued with progress intact) and
-// leave (DELETE /nodes/{name}) while the daemon runs. The -cluster flag
-// only seeds the initial inventory.
+// restarts, and so are nodes: machines join (POST /v1/nodes), drain
+// gracefully (POST /v1/nodes/{name}/drain), fail abruptly
+// (POST /v1/nodes/{name}/fail — jobs are rescued with progress intact)
+// and leave (DELETE /v1/nodes/{name}) while the daemon runs. The
+// -cluster flag only seeds the initial inventory. The API is versioned
+// under /v1 with the unversioned paths kept as deprecated aliases for
+// one release; errors carry the {"error": {"code", "message"}} envelope
+// (see docs/API.md). Request dispatch (POST /v1/route/{name}) goes
+// through a lock-free router dataplane and accepts a {"n": N} body to
+// route a batch in one call.
 //
 // With -state-dir the daemon is durable: every mutating API call and
 // every applied cycle is journaled to an fsync'd write-ahead log,

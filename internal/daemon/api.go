@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand/v2"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"dynplace"
@@ -16,33 +18,40 @@ import (
 	"dynplace/internal/router"
 )
 
-// Handler returns the daemon's HTTP API:
+// Handler returns the daemon's HTTP API. The canonical surface is
+// versioned under /v1; the unversioned paths remain as deprecated
+// aliases for one release (see docs/API.md):
 //
-//	GET    /healthz            liveness, cycle progress, truthful status
-//	GET    /placement          the latest placement snapshot
-//	GET    /metrics            counters, router stats, cycle history
-//	GET    /apps               registered web application names
-//	POST   /apps               register a web application
-//	DELETE /apps/{name}        deregister a web application
-//	POST   /apps/{name}/load   update an application's arrival rate
-//	POST   /route/{name}       dispatch one request through the router
-//	GET    /jobs               job outcomes so far
-//	POST   /jobs               submit a batch job
-//	GET    /nodes              inventory nodes with lifecycle states
-//	POST   /nodes              add a node to the inventory
-//	POST   /nodes/{name}/drain start a graceful node departure
-//	POST   /nodes/{name}/fail  record an abrupt node loss
-//	DELETE /nodes/{name}       remove an empty (drained/failed) node
-//	GET    /state              durability status (WAL, snapshots, replay)
-//	POST   /state/snapshot     write a compacting snapshot now
-//	GET    /metrics/prom       Prometheus text exposition (version 0.0.4)
-//	GET    /debug/cycles       span timelines of the retained recent cycles
-//	GET    /debug/cycles/{n}   span timeline of cycle n
+//	GET    /v1/healthz            liveness, cycle progress, truthful status
+//	GET    /v1/placement          the latest placement snapshot
+//	GET    /v1/metrics            counters, router stats, cycle history
+//	GET    /v1/apps               registered web application names
+//	POST   /v1/apps               register a web application
+//	DELETE /v1/apps/{name}        deregister a web application
+//	POST   /v1/apps/{name}/load   update an application's arrival rate
+//	POST   /v1/route/{name}       dispatch through the router; body
+//	                              {"n": N} batches N requests in one call
+//	GET    /v1/jobs               job outcomes so far
+//	POST   /v1/jobs               submit a batch job
+//	GET    /v1/nodes              inventory nodes with lifecycle states
+//	POST   /v1/nodes              add a node to the inventory
+//	POST   /v1/nodes/{name}/drain start a graceful node departure
+//	POST   /v1/nodes/{name}/fail  record an abrupt node loss
+//	DELETE /v1/nodes/{name}       remove an empty (drained/failed) node
+//	GET    /v1/state              durability status (WAL, snapshots, replay)
+//	POST   /v1/state/snapshot     write a compacting snapshot now
+//	GET    /v1/metrics/prom       Prometheus text exposition (version 0.0.4)
+//	GET    /v1/debug/cycles       span timelines of the retained recent cycles
+//	GET    /v1/debug/cycles/{n}   span timeline of cycle n
 //
 // Bodies and responses are JSON; workload specs use the library's public
-// spec types (dynplace.WebAppSpec, dynplace.JobSpec). Every route is
-// wrapped in latency/status instrumentation feeding the
-// dynplace_http_* series on /metrics/prom.
+// spec types (dynplace.WebAppSpec, dynplace.JobSpec). Errors use a
+// uniform envelope {"error": {"code": "...", "message": "..."}} with
+// machine-readable codes (see codeFor); 503 responses carry a
+// Retry-After header sized to the control cycle. Every route is wrapped
+// in latency/status instrumentation feeding the dynplace_http_* series
+// on /metrics/prom, labeled by the pattern actually hit so v1 and
+// legacy traffic are distinguishable.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	classes := d.obs.responseClasses()
@@ -60,26 +69,36 @@ func (d *Daemon) Handler() http.Handler {
 			}
 		})
 	}
-	handle("GET /healthz", d.handleHealthz)
-	handle("GET /placement", d.handlePlacement)
-	handle("GET /metrics", d.handleMetrics)
-	handle("GET /metrics/prom", d.handleMetricsProm)
-	handle("GET /debug/cycles", d.handleCycles)
-	handle("GET /debug/cycles/{n}", d.handleCycle)
-	handle("GET /apps", d.handleListApps)
-	handle("POST /apps", d.handleAddApp)
-	handle("DELETE /apps/{name}", d.handleRemoveApp)
-	handle("POST /apps/{name}/load", d.handleSetLoad)
-	handle("POST /route/{name}", d.handleRoute)
-	handle("GET /jobs", d.handleJobs)
-	handle("POST /jobs", d.handleSubmitJob)
-	handle("GET /nodes", d.handleListNodes)
-	handle("POST /nodes", d.handleAddNode)
-	handle("POST /nodes/{name}/drain", d.handleDrainNode)
-	handle("POST /nodes/{name}/fail", d.handleFailNode)
-	handle("DELETE /nodes/{name}", d.handleRemoveNode)
-	handle("GET /state", d.handleState)
-	handle("POST /state/snapshot", d.handleSnapshot)
+	// Every route registers twice: the canonical /v1 pattern and the
+	// legacy unversioned alias, each with its own instrument label.
+	route := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic(fmt.Sprintf("daemon: route pattern %q has no method", pattern))
+		}
+		handle(method+" /v1"+path, h)
+		handle(pattern, h)
+	}
+	route("GET /healthz", d.handleHealthz)
+	route("GET /placement", d.handlePlacement)
+	route("GET /metrics", d.handleMetrics)
+	route("GET /metrics/prom", d.handleMetricsProm)
+	route("GET /debug/cycles", d.handleCycles)
+	route("GET /debug/cycles/{n}", d.handleCycle)
+	route("GET /apps", d.handleListApps)
+	route("POST /apps", d.handleAddApp)
+	route("DELETE /apps/{name}", d.handleRemoveApp)
+	route("POST /apps/{name}/load", d.handleSetLoad)
+	route("POST /route/{name}", d.handleRoute)
+	route("GET /jobs", d.handleJobs)
+	route("POST /jobs", d.handleSubmitJob)
+	route("GET /nodes", d.handleListNodes)
+	route("POST /nodes", d.handleAddNode)
+	route("POST /nodes/{name}/drain", d.handleDrainNode)
+	route("POST /nodes/{name}/fail", d.handleFailNode)
+	route("DELETE /nodes/{name}", d.handleRemoveNode)
+	route("GET /state", d.handleState)
+	route("POST /state/snapshot", d.handleSnapshot)
 	return mux
 }
 
@@ -124,10 +143,98 @@ type AddNodeRequest struct {
 	MemMB  float64 `json:"memMB"`
 }
 
-// RouteResponse is the POST /route/{name} body on success.
+// RouteRequest is the optional POST /v1/route/{name} body. N > 1
+// batches that many dispatches in one call; absent, zero or one means a
+// single request.
+type RouteRequest struct {
+	N int `json:"n,omitempty"`
+}
+
+// RouteResponse is the single-request POST /route/{name} body on
+// success.
 type RouteResponse struct {
 	Node   string `json:"node,omitempty"`
 	Queued bool   `json:"queued,omitempty"`
+}
+
+// BatchRouteResponse is the POST /v1/route/{name} body when the request
+// asked for a batch ({"n": N}): per-node dispatch counts plus
+// queued/rejected tallies.
+type BatchRouteResponse struct {
+	Requests   int            `json:"requests"`
+	Dispatched int            `json:"dispatched"`
+	Queued     int            `json:"queued"`
+	Rejected   int            `json:"rejected"`
+	PerNode    map[string]int `json:"perNode"`
+}
+
+// maxRouteBatch bounds one batch-route call; larger loads should issue
+// multiple calls so each stays promptly cancellable.
+const maxRouteBatch = 1_000_000
+
+// ErrorResponse is the uniform error envelope every non-2xx response
+// carries: a machine-readable code (see codeFor for the table) plus the
+// human-readable message.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope payload.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// codeFor maps domain sentinel errors onto the stable machine-readable
+// codes of the error envelope; "" means no sentinel matched and the
+// code falls back to the HTTP status class (codeForStatus).
+//
+// The code table (documented in docs/API.md):
+//
+//	bad_spec      a workload spec failed validation (dynplace.ErrBadSpec)
+//	bad_request   a malformed request or argument (ErrDaemon,
+//	              control.ErrBadConfig, cluster.ErrBadNode, JSON decode)
+//	not_found     unknown application, node, job or cycle (ErrNotFound,
+//	              cluster.ErrUnknownInventoryNode, router.ErrUnknownApp)
+//	rejected      the router's overload protection dropped the request
+//	              (router.ErrRejected); retry after Retry-After seconds
+//	recovering    boot-time WAL replay still running (ErrRecovering)
+//	store_failed  the durable store is failing (ErrStore)
+//	internal      anything else
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, router.ErrRejected):
+		return "rejected"
+	case errors.Is(err, dynplace.ErrBadSpec):
+		return "bad_spec"
+	case errors.Is(err, ErrNotFound), errors.Is(err, cluster.ErrUnknownInventoryNode),
+		errors.Is(err, router.ErrUnknownApp):
+		return "not_found"
+	case errors.Is(err, ErrRecovering):
+		return "recovering"
+	case errors.Is(err, ErrStore):
+		return "store_failed"
+	case errors.Is(err, ErrDaemon), errors.Is(err, control.ErrBadConfig),
+		errors.Is(err, cluster.ErrBadNode):
+		return "bad_request"
+	}
+	return ""
+}
+
+// codeForStatus is the envelope-code fallback when no sentinel matched:
+// the HTTP status class still yields a stable machine-readable code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	}
+	return "internal"
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -139,7 +246,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	code := codeFor(err)
+	if code == "" {
+		code = codeForStatus(status)
+	}
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: err.Error()}})
+}
+
+// writeError adds the daemon-level response conventions on top of the
+// bare envelope: 503s carry a Retry-After header sized to the control
+// cycle, since capacity (a placement change, a finished replay) arrives
+// at cycle granularity.
+func (d *Daemon) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(d.retryAfterSeconds()))
+	}
+	writeError(w, status, err)
+}
+
+func (d *Daemon) retryAfterSeconds() int {
+	s := int(math.Ceil(d.cfg.CycleSeconds))
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // maxBodyBytes bounds request bodies; workload specs are tiny, so 1 MiB
@@ -211,7 +341,7 @@ func (d *Daemon) handleAddApp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := d.AddWebApp(req.App, req.Relative); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"added": req.App.Name})
@@ -220,7 +350,7 @@ func (d *Daemon) handleAddApp(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleRemoveApp(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := d.RemoveWebApp(name); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
@@ -233,7 +363,7 @@ func (d *Daemon) handleSetLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := d.SetArrivalRate(name, req.ArrivalRate); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"app": name, "arrivalRate": req.ArrivalRate})
@@ -241,18 +371,52 @@ func (d *Daemon) handleSetLoad(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleRoute(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	node, err := d.router.Dispatch(name, rand.Float64())
+	// The body is optional: absent (or n ≤ 1) routes one request, the
+	// batch form routes n in a single call so load tests measure the
+	// dataplane rather than HTTP round-trips.
+	var req RouteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		d.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	switch {
-	case err == nil && node != "":
-		writeJSON(w, http.StatusOK, RouteResponse{Node: node})
-	case err == nil:
-		writeJSON(w, http.StatusAccepted, RouteResponse{Queued: true})
-	default:
-		status := http.StatusNotFound
-		if errors.Is(err, router.ErrRejected) {
-			status = http.StatusServiceUnavailable
+	case req.N < 0 || req.N > maxRouteBatch:
+		d.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: n=%d out of range [0, %d]", ErrDaemon, req.N, maxRouteBatch))
+	case req.N > 1:
+		res, err := d.router.DispatchBatch(name, req.N)
+		if err != nil {
+			d.writeError(w, http.StatusNotFound, err)
+			return
 		}
-		writeError(w, status, err)
+		if res.Dispatched == 0 && res.Queued == 0 && res.Rejected > 0 {
+			// The whole batch hit a full protection queue: a 503 tells
+			// load balancers to back off, Retry-After for how long.
+			d.writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("%w: %q: all %d requests rejected", router.ErrRejected, name, res.Rejected))
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchRouteResponse{
+			Requests:   req.N,
+			Dispatched: res.Dispatched,
+			Queued:     res.Queued,
+			Rejected:   res.Rejected,
+			PerNode:    res.PerNode,
+		})
+	default:
+		node, err := d.router.DispatchBalanced(name)
+		switch {
+		case err == nil && node != "":
+			writeJSON(w, http.StatusOK, RouteResponse{Node: node})
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, RouteResponse{Queued: true})
+		case errors.Is(err, router.ErrRejected):
+			d.writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			d.writeError(w, http.StatusNotFound, err)
+		}
 	}
 }
 
@@ -270,7 +434,7 @@ func (d *Daemon) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := d.SubmitJob(req.Job, req.Relative); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"submitted": req.Job.Name})
@@ -287,7 +451,7 @@ func (d *Daemon) handleAddNode(w http.ResponseWriter, r *http.Request) {
 	}
 	name, err := d.AddNode(req.Name, req.CPUMHz, req.MemMB)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"added": name})
@@ -296,7 +460,7 @@ func (d *Daemon) handleAddNode(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleDrainNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := d.DrainNode(name); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"draining": name})
@@ -305,7 +469,7 @@ func (d *Daemon) handleDrainNode(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleFailNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := d.FailNode(name); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"failed": name})
@@ -314,7 +478,7 @@ func (d *Daemon) handleFailNode(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := d.RemoveNode(name); err != nil {
-		writeError(w, statusFor(err), err)
+		d.writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})

@@ -1,0 +1,248 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"dynplace"
+)
+
+// decodeErrorEnvelope parses the uniform error body and fails the test
+// on any shape deviation — the envelope is a wire contract.
+func decodeErrorEnvelope(t *testing.T, body []byte) ErrorDetail {
+	t.Helper()
+	var env ErrorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope missing code or message: %s", body)
+	}
+	return env.Error
+}
+
+// TestV1Aliases checks every v1 route answers and its legacy
+// unversioned alias still works during the deprecation window, with
+// identical semantics.
+func TestV1Aliases(t *testing.T) {
+	d, clock, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := do(t, http.MethodPost, srv.URL+"/v1/apps", AddAppRequest{
+		App: dynplace.WebAppSpec{
+			Name: "shop", ArrivalRate: 5, DemandPerRequest: 50,
+			BaseLatency: 0.02, GoalResponseTime: 0.2, MemoryMB: 1000,
+		},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/apps: status %d: %s", status, body)
+	}
+	clock.Advance(120)
+
+	for _, path := range []string{
+		"/healthz", "/placement", "/metrics", "/metrics/prom",
+		"/apps", "/jobs", "/nodes", "/state", "/debug/cycles",
+	} {
+		for _, prefix := range []string{"/v1", ""} {
+			status, body := do(t, http.MethodGet, srv.URL+prefix+path, nil)
+			if status != http.StatusOK {
+				t.Errorf("GET %s%s: status %d: %s", prefix, path, status, body)
+			}
+		}
+	}
+
+	// Dispatch succeeds through both surfaces.
+	for _, prefix := range []string{"/v1", ""} {
+		status, body := do(t, http.MethodPost, srv.URL+prefix+"/route/shop", nil)
+		if status != http.StatusOK {
+			t.Errorf("POST %s/route/shop: status %d: %s", prefix, status, body)
+		}
+	}
+}
+
+// TestErrorEnvelope checks the structured error contract: every failure
+// carries {"error": {"code", "message"}} with the documented
+// machine-readable code.
+func TestErrorEnvelope(t *testing.T) {
+	d, _, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown app route", http.MethodPost, "/v1/route/ghost", nil,
+			http.StatusNotFound, "not_found"},
+		{"unknown app removal", http.MethodDelete, "/v1/apps/ghost", nil,
+			http.StatusNotFound, "not_found"},
+		{"unknown node drain", http.MethodPost, "/v1/nodes/ghost/drain", nil,
+			http.StatusNotFound, "not_found"},
+		{"bad spec", http.MethodPost, "/v1/apps",
+			AddAppRequest{App: dynplace.WebAppSpec{Name: "bad", ArrivalRate: -1}},
+			http.StatusBadRequest, "bad_spec"},
+		{"malformed body", http.MethodPost, "/v1/apps",
+			map[string]string{"nonsense": "field"},
+			http.StatusBadRequest, "bad_request"},
+		{"bad cycle number", http.MethodGet, "/v1/debug/cycles/zzz", nil,
+			http.StatusBadRequest, "bad_request"},
+		{"missing trace", http.MethodGet, "/v1/debug/cycles/999999", nil,
+			http.StatusNotFound, "not_found"},
+		{"snapshot without store", http.MethodPost, "/v1/state/snapshot", nil,
+			http.StatusConflict, "bad_request"},
+		{"batch size out of range", http.MethodPost, "/v1/route/ghost",
+			RouteRequest{N: maxRouteBatch + 1},
+			http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, tc.method, srv.URL+tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d: %s", status, tc.wantStatus, body)
+			}
+			if det := decodeErrorEnvelope(t, body); det.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q (message %q)", det.Code, tc.wantCode, det.Message)
+			}
+		})
+	}
+}
+
+// TestBatchRoute covers the bulk dataplane endpoint: tallies must
+// partition the batch, per-node counts must sum to the dispatched
+// count, and n ≤ 1 must keep single-request semantics.
+func TestBatchRoute(t *testing.T) {
+	d, clock, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	status, body := do(t, http.MethodPost, srv.URL+"/v1/apps", AddAppRequest{
+		App: dynplace.WebAppSpec{
+			Name: "shop", ArrivalRate: 5, DemandPerRequest: 50,
+			BaseLatency: 0.02, GoalResponseTime: 0.2, MemoryMB: 1000,
+		},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/apps: status %d: %s", status, body)
+	}
+	clock.Advance(120)
+
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/route/shop", RouteRequest{N: 5000})
+	if status != http.StatusOK {
+		t.Fatalf("batch route: status %d: %s", status, body)
+	}
+	var res BatchRouteResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("batch route body: %v: %s", err, body)
+	}
+	if res.Requests != 5000 || res.Dispatched != 5000 || res.Queued != 0 || res.Rejected != 0 {
+		t.Fatalf("batch result = %+v, want 5000 dispatched", res)
+	}
+	sum := 0
+	for _, n := range res.PerNode {
+		sum += n
+	}
+	if sum != res.Dispatched {
+		t.Fatalf("sum(PerNode) = %d, want %d", sum, res.Dispatched)
+	}
+	if st, _ := d.Router().StatsFor("shop"); st.Dispatched != 5000 {
+		t.Fatalf("router stats dispatched = %d, want 5000", st.Dispatched)
+	}
+
+	// n=1 keeps the single-request response shape.
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/route/shop", RouteRequest{N: 1})
+	if status != http.StatusOK {
+		t.Fatalf("n=1 route: status %d: %s", status, body)
+	}
+	var single RouteResponse
+	if err := json.Unmarshal(body, &single); err != nil || single.Node == "" {
+		t.Fatalf("n=1 route body = %s (err %v), want single RouteResponse", body, err)
+	}
+}
+
+// TestRejectionRetryAfter checks overload rejections answer 503 with a
+// Retry-After header sized to the control cycle, for both the single
+// and the batch form.
+func TestRejectionRetryAfter(t *testing.T) {
+	d, _, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// An app the placement loop has never served: no capacity, and the
+	// default test config has QueueCap 0 → 128... use the router
+	// directly to fill the queue deterministically instead.
+	d.Router().Update("dark", nil)
+	for {
+		node, err := d.Router().Dispatch("dark", 0.5)
+		if err != nil {
+			break // queue full: next HTTP dispatch must reject
+		}
+		if node != "" {
+			t.Fatalf("dark app dispatched to %q, want queue only", node)
+		}
+	}
+
+	for _, req := range []any{nil, RouteRequest{N: 100}} {
+		var rd io.Reader
+		if req != nil {
+			b, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(b)
+		}
+		resp, err := http.Post(srv.URL+"/v1/route/dark", "application/json", rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503: %s", resp.StatusCode, body)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, convErr := strconv.Atoi(ra)
+		if convErr != nil || secs < 1 {
+			t.Fatalf("Retry-After = %q, want a positive integer", ra)
+		}
+		if det := decodeErrorEnvelope(t, body); det.Code != "rejected" {
+			t.Errorf("code = %q, want \"rejected\"", det.Code)
+		}
+	}
+}
+
+// TestBatchRouteOverflow checks a batch that only partially fits the
+// queue still answers 200 with the honest split.
+func TestBatchRouteOverflow(t *testing.T) {
+	d, _, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d.Router().Update("dark", nil) // never placed: queue-only
+
+	status, body := do(t, http.MethodPost, srv.URL+"/v1/route/dark", RouteRequest{N: 1000})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", status, body)
+	}
+	var res BatchRouteResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatched != 0 || res.Queued == 0 || res.Rejected == 0 ||
+		res.Queued+res.Rejected != 1000 {
+		t.Fatalf("batch split = %+v, want queued+rejected == 1000 with both nonzero", res)
+	}
+}

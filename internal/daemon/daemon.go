@@ -967,6 +967,7 @@ func (d *Daemon) runCycle(now float64) {
 		InventoryVersion: plan.InventoryVersion,
 	}
 	webUtil := make(map[string]float64, len(webApps))
+	tables := make(map[string][]router.Instance, len(webApps))
 	for i, w := range webApps {
 		instances := make([]router.Instance, 0, len(plan.Web[i]))
 		views := make([]InstanceView, 0, len(plan.Web[i]))
@@ -975,12 +976,7 @@ func (d *Daemon) runCycle(now float64) {
 			instances = append(instances, router.Instance{Node: name, PowerMHz: in.PowerMHz})
 			views = append(views, InstanceView{Node: name, PowerMHz: in.PowerMHz})
 		}
-		d.router.Update(w.Name, instances)
-		if plan.WebAllocMHz[i] > 0 {
-			// Capacity is available again: release requests parked in
-			// the overload-protection queue.
-			d.router.Drain(w.Name, d.cfg.QueueCap)
-		}
+		tables[w.Name] = instances
 		snap.Web = append(snap.Web, WebPlacementView{
 			Name:        w.Name,
 			ArrivalRate: w.ArrivalRate,
@@ -989,6 +985,16 @@ func (d *Daemon) runCycle(now float64) {
 			Instances:   views,
 		})
 		webUtil[w.Name] = plan.WebUtilities[i]
+	}
+	// One atomic table swap for the whole cycle: dispatchers racing the
+	// publish see either last cycle's placement or this one, never a mix.
+	d.router.Publish(tables)
+	for i, w := range webApps {
+		if plan.WebAllocMHz[i] > 0 {
+			// Capacity is available again: release requests parked in
+			// the overload-protection queue.
+			d.router.Drain(w.Name, d.cfg.QueueCap)
+		}
 	}
 
 	queued := 0

@@ -445,8 +445,8 @@ func TestDaemonDrainsQueueWhenCapacityReturns(t *testing.T) {
 			t.Fatalf("route to starved app: status %d: %s", status, body)
 		}
 	}
-	if st, _ := d.Router().StatsFor(starved); st.Queued != 3 {
-		t.Fatalf("queued = %d, want 3", st.Queued)
+	if st, _ := d.Router().StatsFor(starved); st.QueueDepth != 3 {
+		t.Fatalf("queued = %d, want 3", st.QueueDepth)
 	}
 
 	// Free the node; the next cycle places the starved app and must
@@ -456,8 +456,8 @@ func TestDaemonDrainsQueueWhenCapacityReturns(t *testing.T) {
 	}
 	clock.Advance(120)
 	st, _ := d.Router().StatsFor(starved)
-	if st.Queued != 0 {
-		t.Errorf("queued = %d after capacity returned, want drained to 0", st.Queued)
+	if st.QueueDepth != 0 {
+		t.Errorf("queued = %d after capacity returned, want drained to 0", st.QueueDepth)
 	}
 	if status, body := do(t, http.MethodPost, srv.URL+"/route/"+starved, nil); status != http.StatusOK {
 		t.Errorf("route after drain: status %d: %s", status, body)

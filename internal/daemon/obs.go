@@ -180,9 +180,10 @@ func (d *Daemon) newObsState(shards int, traceCycles int) *obsState {
 			"Latency of one router dispatch decision.", dispatchBuckets),
 	}
 	d.router.SetInstruments(routerIns)
-	reg.GaugeSampler("dynplace_router_queued_requests",
-		"Requests parked in each application's overload-protection queue.",
-		func() []obs.Sample {
+	// Per-app dispatch series. routerSamples snapshots once per scrape
+	// per family and renders one stably ordered sample per application.
+	routerSamples := func(value func(router.Stats) float64) func() []obs.Sample {
+		return func() []obs.Sample {
 			stats := d.router.Snapshot()
 			names := make([]string, 0, len(stats))
 			for name := range stats {
@@ -193,11 +194,27 @@ func (d *Daemon) newObsState(shards int, traceCycles int) *obsState {
 			for _, name := range names {
 				out = append(out, obs.Sample{
 					Labels: []string{"app", name},
-					Value:  float64(stats[name].Queued),
+					Value:  value(stats[name]),
 				})
 			}
 			return out
-		})
+		}
+	}
+	reg.GaugeSampler("dynplace_router_queued_requests",
+		"Requests parked in each application's overload-protection queue.",
+		routerSamples(func(s router.Stats) float64 { return float64(s.QueueDepth) }))
+	reg.GaugeSampler("dynplace_dispatch_queue_depth",
+		"Current overload-protection queue occupancy per application.",
+		routerSamples(func(s router.Stats) float64 { return float64(s.QueueDepth) }))
+	reg.CounterSampler("dynplace_dispatch_queued_total",
+		"Requests that ever entered the overload-protection queue, per application.",
+		routerSamples(func(s router.Stats) float64 { return float64(s.QueuedTotal) }))
+	reg.CounterSampler("dynplace_dispatch_requests_total",
+		"Requests dispatched to instances, per application.",
+		routerSamples(func(s router.Stats) float64 { return float64(s.Dispatched) }))
+	reg.CounterSampler("dynplace_dispatch_rejected_total",
+		"Requests dropped by overload protection, per application.",
+		routerSamples(func(s router.Stats) float64 { return float64(s.Rejected) }))
 
 	// --- durability ---
 	o.walAppend = reg.Histogram("dynplace_wal_append_duration_seconds",

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"dynplace/internal/router"
+)
+
+// RouterSweepOptions parameterizes the router dataplane throughput
+// sweep: closed-loop dispatch loops at several concurrency levels, run
+// against both the lock-free router and a mutex-serialized baseline
+// (the pre-dataplane design), with and without a concurrent control
+// loop republishing the routing table.
+type RouterSweepOptions struct {
+	// OpsPerGoroutine is each load goroutine's closed-loop dispatch
+	// count (default 200000).
+	OpsPerGoroutine int
+	// Goroutines lists the concurrency levels (default 1, 4, NumCPU —
+	// deduplicated and sorted).
+	Goroutines []int
+	// Instances is the routed application's instance count (default 8).
+	Instances int
+	// RepublishEvery is the control-loop republish interval in the
+	// republish legs (default 100 µs — far hotter than a real control
+	// cycle, to probe worst-case interference).
+	RepublishEvery time.Duration
+}
+
+// DefaultRouterSweepOptions returns the sweep's standard settings.
+func DefaultRouterSweepOptions() RouterSweepOptions {
+	levels := []int{1, 4, runtime.NumCPU()}
+	return RouterSweepOptions{
+		OpsPerGoroutine: 200000,
+		Goroutines:      levels,
+		Instances:       8,
+		RepublishEvery:  100 * time.Microsecond,
+	}
+}
+
+// RouterSweepRow is one sweep cell: an implementation at a concurrency
+// level, with or without concurrent republish.
+type RouterSweepRow struct {
+	// Impl is "lockfree" (the dataplane router) or "mutex" (the
+	// serialized baseline).
+	Impl string
+	// Goroutines is the closed-loop load generator's concurrency.
+	Goroutines int
+	// Republish reports whether a control goroutine was concurrently
+	// swapping the routing table every RepublishEvery.
+	Republish bool
+	// Ops is the total dispatches completed across all goroutines.
+	Ops int
+	// NsPerOp is wall time divided by Ops — at N goroutines this is
+	// the aggregate cost, so throughput comparisons read MopsPerSec.
+	NsPerOp float64
+	// MopsPerSec is aggregate throughput in million dispatches/second.
+	MopsPerSec float64
+	// AllocsPerOp is the measured heap allocations per dispatch
+	// (single-goroutine legs only; -1 when not measured).
+	AllocsPerOp float64
+}
+
+// dispatcher is the sweep's view of a router implementation.
+type dispatcher interface {
+	Update(app string, instances []router.Instance)
+	Dispatch(app string, pick float64) (string, error)
+}
+
+// mutexRouter replicates the pre-dataplane router design — every
+// dispatch through one mutex, stats folded inline — as the sweep's
+// baseline. It lives here, not in the router package: it exists only to
+// quantify what the lock-free redesign bought.
+type mutexRouter struct {
+	mu   sync.Mutex
+	apps map[string]*mutexApp
+}
+
+type mutexApp struct {
+	instances  []router.Instance
+	cum        []float64
+	total      float64
+	perNode    map[string]int
+	dispatched int
+}
+
+func newMutexRouter() *mutexRouter {
+	return &mutexRouter{apps: make(map[string]*mutexApp)}
+}
+
+func (m *mutexRouter) Update(app string, instances []router.Instance) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.apps[app]
+	if !ok {
+		st = &mutexApp{perNode: make(map[string]int)}
+		m.apps[app] = st
+	}
+	st.instances = st.instances[:0]
+	st.cum = st.cum[:0]
+	st.total = 0
+	for _, in := range instances {
+		if in.PowerMHz <= 0 {
+			continue
+		}
+		st.total += in.PowerMHz
+		st.instances = append(st.instances, in)
+		st.cum = append(st.cum, st.total)
+	}
+}
+
+func (m *mutexRouter) Dispatch(app string, pick float64) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.apps[app]
+	if !ok || st.total <= 0 {
+		return "", router.ErrUnknownApp
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	if pick >= 1 {
+		pick = 0.999999
+	}
+	target := pick * st.total
+	lo, hi := 0, len(st.cum)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	if i >= len(st.instances) {
+		i = len(st.instances) - 1
+	}
+	if st.cum[i] == target && i+1 < len(st.instances) {
+		i++
+	}
+	node := st.instances[i].Node
+	st.dispatched++
+	st.perNode[node]++
+	return node, nil
+}
+
+// lockfreeDispatcher adapts *router.Router to the sweep interface.
+type lockfreeDispatcher struct{ r *router.Router }
+
+func (d lockfreeDispatcher) Update(app string, ins []router.Instance) { d.r.Update(app, ins) }
+func (d lockfreeDispatcher) Dispatch(app string, pick float64) (string, error) {
+	return d.r.Dispatch(app, pick)
+}
+
+// sweepInstances builds the routed application's instance list.
+func sweepInstances(n int) []router.Instance {
+	out := make([]router.Instance, n)
+	for i := range out {
+		out[i] = router.Instance{Node: fmt.Sprintf("node-%d", i), PowerMHz: 1000 + 500*float64(i%4)}
+	}
+	return out
+}
+
+// runRouterCase drives one closed-loop cell: goroutines×ops dispatches
+// against d, optionally with a concurrent republisher swapping between
+// two instance sets.
+func runRouterCase(d dispatcher, goroutines, ops int, republish bool, every time.Duration, instances []router.Instance) RouterSweepRow {
+	alt := make([]router.Instance, len(instances))
+	copy(alt, instances)
+	for i := range alt {
+		alt[i].PowerMHz += 250
+	}
+
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	if republish {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			flip := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if flip {
+					d.Update("app", alt)
+				} else {
+					d.Update("app", instances)
+				}
+				flip = !flip
+				time.Sleep(every)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+			for i := 0; i < ops; i++ {
+				if _, err := d.Dispatch("app", rng.Float64()); err != nil {
+					return
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	pubWG.Wait()
+
+	total := goroutines * ops
+	row := RouterSweepRow{
+		Goroutines:  goroutines,
+		Republish:   republish,
+		Ops:         total,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(total),
+		AllocsPerOp: -1,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		row.MopsPerSec = float64(total) / s / 1e6
+	}
+	return row
+}
+
+// measureAllocs returns heap allocations per dispatch over n calls,
+// measured from runtime.MemStats deltas on a quiesced heap.
+func measureAllocs(d dispatcher, n int) float64 {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 1000; i++ { // warm-up outside the measured window
+		_, _ = d.Dispatch("app", rng.Float64())
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		_, _ = d.Dispatch("app", rng.Float64())
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// RunRouterSweep measures dispatch throughput of the lock-free
+// dataplane router against the mutex-serialized baseline across
+// concurrency levels, with and without a concurrent control loop
+// republishing the routing table. Closed loop: each goroutine issues
+// its quota back-to-back, so NsPerOp is aggregate dispatch cost and
+// MopsPerSec the sustained rate.
+func RunRouterSweep(opts RouterSweepOptions) ([]RouterSweepRow, error) {
+	def := DefaultRouterSweepOptions()
+	if opts.OpsPerGoroutine <= 0 {
+		opts.OpsPerGoroutine = def.OpsPerGoroutine
+	}
+	if len(opts.Goroutines) == 0 {
+		opts.Goroutines = def.Goroutines
+	}
+	if opts.Instances <= 0 {
+		opts.Instances = def.Instances
+	}
+	if opts.RepublishEvery <= 0 {
+		opts.RepublishEvery = def.RepublishEvery
+	}
+	levels := dedupeLevels(opts.Goroutines)
+	instances := sweepInstances(opts.Instances)
+
+	build := map[string]func() dispatcher{
+		"lockfree": func() dispatcher {
+			r := router.New(0)
+			return lockfreeDispatcher{r: r}
+		},
+		"mutex": func() dispatcher { return newMutexRouter() },
+	}
+
+	var rows []RouterSweepRow
+	for _, impl := range []string{"lockfree", "mutex"} {
+		for _, republish := range []bool{false, true} {
+			for _, g := range levels {
+				d := build[impl]()
+				d.Update("app", instances)
+				// Warm-up leg outside the measurement.
+				warm := runRouterCase(d, g, opts.OpsPerGoroutine/10+1, republish, opts.RepublishEvery, instances)
+				_ = warm
+				row := runRouterCase(d, g, opts.OpsPerGoroutine, republish, opts.RepublishEvery, instances)
+				row.Impl = impl
+				if g == 1 && !republish {
+					row.AllocsPerOp = measureAllocs(d, 20000)
+				}
+				if row.Ops != g*opts.OpsPerGoroutine {
+					return nil, fmt.Errorf("router sweep: %s g=%d completed %d ops, want %d",
+						impl, g, row.Ops, g*opts.OpsPerGoroutine)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func dedupeLevels(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, g := range in {
+		if g > 0 && !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// RouterSweepTable formats the sweep for the benchmark log and the CI
+// artifact.
+func RouterSweepTable(rows []RouterSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Router dataplane — dispatch throughput, lock-free vs mutex baseline\n")
+	b.WriteString("  impl      goroutines  republish        ops     ns/op    Mops/s  allocs/op\n")
+	for _, r := range rows {
+		allocs := "       —"
+		if r.AllocsPerOp >= 0 {
+			allocs = fmt.Sprintf("%8.2f", r.AllocsPerOp)
+		}
+		b.WriteString(fmt.Sprintf("  %-8s  %10d  %9v  %9d  %8.1f  %8.2f  %s\n",
+			r.Impl, r.Goroutines, r.Republish, r.Ops, r.NsPerOp, r.MopsPerSec, allocs))
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynplace/internal/router"
+)
+
+func TestRunRouterSweepSmall(t *testing.T) {
+	rows, err := RunRouterSweep(RouterSweepOptions{
+		OpsPerGoroutine: 2000,
+		Goroutines:      []int{1, 2},
+		Instances:       4,
+		RepublishEvery:  50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("RunRouterSweep: %v", err)
+	}
+	// 2 impls × 2 republish legs × 2 levels.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	var sawSingleAllocs bool
+	for _, r := range rows {
+		if r.Impl != "lockfree" && r.Impl != "mutex" {
+			t.Fatalf("unexpected impl %q", r.Impl)
+		}
+		if r.Ops != r.Goroutines*2000 {
+			t.Fatalf("%s g=%d: ops = %d, want %d", r.Impl, r.Goroutines, r.Ops, r.Goroutines*2000)
+		}
+		if r.NsPerOp <= 0 || r.MopsPerSec <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+		if r.Impl == "lockfree" && r.Goroutines == 1 && !r.Republish {
+			sawSingleAllocs = true
+			if r.AllocsPerOp != 0 {
+				t.Errorf("lock-free dispatch allocs/op = %.2f, want 0", r.AllocsPerOp)
+			}
+		}
+	}
+	if !sawSingleAllocs {
+		t.Fatal("sweep never measured single-goroutine lock-free allocations")
+	}
+	table := RouterSweepTable(rows)
+	if !strings.Contains(table, "lockfree") || !strings.Contains(table, "mutex") {
+		t.Fatalf("RouterSweepTable:\n%s", table)
+	}
+}
+
+// TestMutexBaselinePickIdentity keeps the sweep honest: the baseline
+// must route a deterministic pick exactly like the real router, so the
+// comparison measures synchronization, not different routing work.
+func TestMutexBaselinePickIdentity(t *testing.T) {
+	instances := sweepInstances(8)
+	m := newMutexRouter()
+	m.Update("app", instances)
+	r := lockfreeDispatcher{r: router.New(0)}
+	r.Update("app", instances)
+	for _, pick := range []float64{-1, 0, 0.1, 0.25, 0.5, 0.75, 0.9999, 1, 2} {
+		want, err1 := r.Dispatch("app", pick)
+		got, err2 := m.Dispatch("app", pick)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("pick %v: errs %v, %v", pick, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("pick %v: mutex baseline → %q, router → %q", pick, got, want)
+		}
+	}
+}

@@ -276,6 +276,23 @@ func (r *Registry) GaugeSampler(name, help string, fn func() []Sample) {
 	r.order = append(r.order, name)
 }
 
+// CounterSampler registers a counter family whose entire series set is
+// produced by fn at collect time — the counter counterpart of
+// GaugeSampler for families with dynamic label values. Each labeled
+// series fn returns must be monotonically non-decreasing across calls.
+func (r *Registry) CounterSampler(name, help string, fn func() []Sample) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kindCounter, sampler: fn}
+	r.order = append(r.order, name)
+}
+
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	return strings.ReplaceAll(s, "\n", `\n`)

@@ -93,8 +93,8 @@ func TestConcurrentDispatchDuringSwaps(t *testing.T) {
 	if perNode != st.Dispatched {
 		t.Errorf("sum(PerNode) = %d, want Dispatched = %d", perNode, st.Dispatched)
 	}
-	if st.Queued < 0 {
-		t.Errorf("Stats.Queued = %d, negative", st.Queued)
+	if st.QueueDepth < 0 {
+		t.Errorf("Stats.QueueDepth = %d, negative", st.QueueDepth)
 	}
 
 	// The snapshot view must agree with the per-app view.

@@ -76,15 +76,21 @@ func TestOverloadProtection(t *testing.T) {
 		t.Fatalf("third dispatch err = %v, want ErrRejected", err)
 	}
 	st, _ := r.StatsFor("a")
-	if st.Queued != 2 || st.Rejected != 1 {
-		t.Fatalf("stats = %+v, want Queued=2 Rejected=1", st)
+	if st.QueueDepth != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want QueueDepth=2 Rejected=1", st)
+	}
+	if st.QueuedTotal != 2 {
+		t.Fatalf("QueuedTotal = %d, want 2", st.QueuedTotal)
 	}
 	if got := r.Drain("a", 5); got != 2 {
 		t.Fatalf("Drain = %d, want 2", got)
 	}
 	st, _ = r.StatsFor("a")
-	if st.Queued != 0 {
-		t.Fatalf("Queued after drain = %d, want 0", st.Queued)
+	if st.QueueDepth != 0 {
+		t.Fatalf("QueueDepth after drain = %d, want 0", st.QueueDepth)
+	}
+	if st.QueuedTotal != 2 {
+		t.Fatalf("QueuedTotal after drain = %d, want 2 (lifetime counter)", st.QueuedTotal)
 	}
 }
 
