@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck docs build test shuffle bench recovery-smoke
+.PHONY: check fmt vet staticcheck docs build test shuffle bench recovery-smoke fuzz cover
 
 check: fmt vet staticcheck docs build test
 
@@ -44,13 +44,25 @@ shuffle:
 	$(GO) test -count=2 -shuffle=on ./...
 
 # The CI bench-smoke job: one scale-sweep + churn-sweep + recovery-sweep
-# + obs-overhead + router-sweep run, tables on stdout and BENCH_*.json
-# rows in the working directory. The router sweep also gates dispatch
-# ns/op and allocs/op against scripts/router_baseline.json.
+# + obs-overhead + router-sweep + replay-sweep run, tables on stdout and
+# BENCH_*.json rows in the working directory. The router sweep gates
+# dispatch ns/op and allocs/op against scripts/router_baseline.json;
+# the replay sweep gates forecast-driven control against reactive.
 bench:
-	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep|BenchmarkRecoverySweep|BenchmarkObsOverhead|BenchmarkRouterSweep' -benchtime=1x .
+	BENCH_JSON_DIR=. $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkChurnSweep|BenchmarkRecoverySweep|BenchmarkObsOverhead|BenchmarkRouterSweep|BenchmarkReplaySweep' -benchtime=1x .
 
 # The CI restart-recovery job: kill -9 a durable dynplaced and assert
 # the restarted daemon serves the pre-kill placement.
 recovery-smoke:
 	./scripts/recovery_smoke.sh
+
+# The CI fuzz-smoke job: 20 s of coverage-guided fuzzing of the
+# replay-trace parser. Crashers become seed corpus entries under
+# internal/trace/testdata/fuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 20s ./internal/trace
+
+# The CI coverage job: statement-coverage floor (85%) on
+# internal/forecast and internal/trace.
+cover:
+	./scripts/coverage_floor.sh

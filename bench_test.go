@@ -546,6 +546,50 @@ func BenchmarkRecoverySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkReplaySweep replays the Alibaba-style diurnal trace through
+// a reactive and a forecast-driven daemon: ~1900 control cycles and
+// ~17M routed user-requests per leg, with every cycle's plan scored
+// against the arrival rate the trace actually delivered over the window
+// it governed. CI runs it with -benchtime=1x next to the other sweeps
+// and uploads BENCH_replay_sweep.json.
+//
+// The sweep enforces the tentpole's contract: the forecaster must beat
+// the naive last-value predictor on post-warm-up MAPE, and planning
+// against predictions must beat reactive control on realized web
+// utility or deadline misses — otherwise forecast-driven placement is
+// noise and the PR's premise fails.
+func BenchmarkReplaySweep(b *testing.B) {
+	opts := experiments.DefaultReplaySweepOptions()
+	var rows []experiments.ReplaySweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunReplaySweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, experiments.ReplaySweepTable(rows))
+	writeBenchJSON(b, "replay_sweep", rows)
+	if len(rows) != 2 || rows[0].Mode != "reactive" || rows[1].Mode != "forecast" {
+		b.Fatalf("unexpected sweep rows: %+v", rows)
+	}
+	reactive, fc := rows[0], rows[1]
+	if fc.MAPE <= 0 || fc.MAPE >= fc.NaiveMAPE {
+		b.Fatalf("forecaster does not beat naive last-value prediction: MAPE %.4f vs %.4f",
+			fc.MAPE, fc.NaiveMAPE)
+	}
+	if !(fc.MeanWebUtility > reactive.MeanWebUtility || fc.DeadlineMisses < reactive.DeadlineMisses) {
+		b.Fatalf("forecast-driven control beats reactive on neither axis: utility %.4f vs %.4f, misses %d vs %d",
+			fc.MeanWebUtility, reactive.MeanWebUtility, fc.DeadlineMisses, reactive.DeadlineMisses)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanWebUtility, "webutil-"+r.Mode)
+		b.ReportMetric(float64(r.DeadlineMisses), "misses-"+r.Mode)
+	}
+	b.ReportMetric(fc.MAPE, "mape")
+	b.ReportMetric(fc.NaiveMAPE, "mape-naive")
+}
+
 // BenchmarkObsOverhead measures what the observability layer costs on
 // the two paths it instruments: the placement cycle (trace spans +
 // latency histograms around a scale-sweep solve) and router request

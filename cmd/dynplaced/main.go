@@ -24,6 +24,15 @@
 // the process exits 0. GET /state reports durability status; POST
 // /state/snapshot compacts on demand.
 //
+// With -forecast the control loop plans each cycle against predicted
+// next-cycle demand instead of the last observed arrival rate: an
+// online per-app estimator (trend-aware smoothing plus a seasonal
+// template of -forecast-season seconds in -forecast-slots buckets)
+// learns from every load report and is scored against the naive
+// last-value predictor. GET /v1/apps/{name}/forecast reports the
+// prediction and the scorecard; dynplace_forecast_* gauges expose it
+// to Prometheus (see docs/OPERATIONS.md for the fallback runbook).
+//
 // /healthz reports the control loop's real state: "recovering" while a
 // boot-time replay is rebuilding state (mutating endpoints answer 503
 // until it completes), "ok", "degraded" while placement is infeasible
@@ -73,6 +82,7 @@ import (
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
 	"dynplace/internal/daemon"
+	"dynplace/internal/forecast"
 	"dynplace/internal/store"
 )
 
@@ -97,6 +107,9 @@ func main() {
 		slowCycle = flag.Float64("slow-cycle", 0, "warn when a control cycle takes longer than this many seconds (0 = 80% of -cycle, negative disables)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		traceN    = flag.Int("trace-cycles", 64, "cycle span timelines retained for /debug/cycles")
+		fcOn      = flag.Bool("forecast", false, "plan each cycle against predicted next-cycle demand instead of the last observation")
+		fcSeason  = flag.Float64("forecast-season", 86400, "seasonal period of the demand estimator in seconds")
+		fcSlots   = flag.Int("forecast-slots", 48, "seasonal template buckets per season")
 	)
 	flag.Parse()
 
@@ -142,6 +155,10 @@ func main() {
 			fatal("bad -state-dir", err)
 		}
 	}
+	var fcCfg *forecast.Config
+	if *fcOn {
+		fcCfg = &forecast.Config{SeasonSeconds: *fcSeason, Slots: *fcSlots}
+	}
 	d, err := daemon.New(daemon.Config{
 		Cluster:      cl,
 		CycleSeconds: *cycle,
@@ -153,6 +170,7 @@ func main() {
 			Parallelism:       *par,
 			Shards:            *shards,
 			ShardSeed:         *shardSeed,
+			Forecast:          fcCfg,
 		},
 		QueueCap: qc,
 		History:  *history,

@@ -1,0 +1,78 @@
+package dynplace
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestForecastOptionValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{"forecast without dynamic", []Option{
+			WithUniformCluster(1, 10000, 8000), WithForecast()}},
+		{"forecast with policy", []Option{
+			WithUniformCluster(1, 10000, 8000), WithPolicy("edf"), WithForecast()}},
+		{"negative season", []Option{
+			WithUniformCluster(1, 10000, 8000), WithDynamicPlacement(),
+			WithForecastSpec(ForecastSpec{SeasonSeconds: -1})}},
+		{"negative slots", []Option{
+			WithUniformCluster(1, 10000, 8000), WithDynamicPlacement(),
+			WithForecastSpec(ForecastSpec{Slots: -4})}},
+		{"gamma above one", []Option{
+			WithUniformCluster(1, 10000, 8000), WithDynamicPlacement(),
+			WithForecastSpec(ForecastSpec{SeasonalGamma: 1.5})}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSystem(tt.opts...); !errors.Is(err, ErrBadOption) {
+				t.Fatalf("err = %v, want ErrBadOption", err)
+			}
+		})
+	}
+}
+
+// TestForecastOptionRuns: a dynamic system with forecasting on runs a
+// scheduled load ramp end to end — the estimator rides along inside the
+// planner without disturbing the public simulation API.
+func TestForecastOptionRuns(t *testing.T) {
+	sys := newTestSystem(t,
+		WithUniformCluster(2, 6000, 8000),
+		WithControlCycle(60),
+		WithDynamicPlacement(),
+		WithFreePlacementActions(),
+		WithForecastSpec(ForecastSpec{
+			SeasonSeconds: 3600, Slots: 12,
+			LevelTauSeconds: 120, TrendTauSeconds: 240,
+		}),
+	)
+	if err := sys.AddWebApp(WebAppSpec{
+		Name: "shop", ArrivalRate: 10, DemandPerRequest: 100,
+		BaseLatency: 0.02, GoalResponseTime: 0.25, MemoryMB: 1000,
+		LoadSchedule: []LoadPhase{
+			{Start: 600, ArrivalRate: 20},
+			{Start: 1200, ArrivalRate: 30},
+		},
+	}); err != nil {
+		t.Fatalf("AddWebApp: %v", err)
+	}
+	if err := sys.SubmitJob(JobSpec{
+		Name: "night", WorkMcycles: 3e5, MaxSpeedMHz: 3000, MemoryMB: 2000,
+		Submit: 0, Deadline: 1800,
+	}); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if err := sys.Run(1800); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	series := sys.WebUtilitySeries("shop")
+	if len(series) == 0 {
+		t.Fatal("no web utility series recorded")
+	}
+	for _, p := range series {
+		if p.Value < -1 {
+			t.Fatalf("utility collapsed at t=%g: %g (forecast-driven plan starved the app)", p.Time, p.Value)
+		}
+	}
+}

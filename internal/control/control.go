@@ -30,6 +30,7 @@ import (
 
 	"dynplace/internal/batch"
 	"dynplace/internal/cluster"
+	"dynplace/internal/forecast"
 	"dynplace/internal/metrics"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/sim"
@@ -59,6 +60,13 @@ type DynamicConfig struct {
 	// ShardSeed drives the coordinator's deterministic first-touch
 	// spreading; rebalancing is reproducible for a fixed seed.
 	ShardSeed int64
+	// Forecast, when non-nil, enables forecast-driven control: the
+	// planner learns each web application's demand online (level, trend
+	// and a seasonal template — see internal/forecast) and solves every
+	// cycle against the predicted next-cycle arrival rates instead of
+	// the last-observed ones. Nil keeps the purely reactive control
+	// loop, bit-identical to the planner without the forecasting path.
+	Forecast *forecast.Config
 }
 
 // Config describes one experiment run.

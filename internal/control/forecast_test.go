@@ -1,0 +1,216 @@
+package control
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/forecast"
+)
+
+// forecastPlanner builds a planner with forecast-driven control tuned
+// for a compressed test season.
+func forecastPlanner(t *testing.T) *Planner {
+	t.Helper()
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{
+		Forecast: &forecast.Config{SeasonSeconds: 3600, Slots: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestForecastOffBitIdentical pins the acceptance criterion: with
+// Forecast nil the planner's cycle output is bit-identical to the
+// reactive planner's, and — because a constant-rate series predicts
+// exactly itself — even a forecast-enabled planner reproduces the
+// reactive plans when demand never moves. Nothing in the forecasting
+// plumbing may perturb a decision unless a prediction actually differs.
+func TestForecastOffBitIdentical(t *testing.T) {
+	run := func(dyn DynamicConfig) []*Plan {
+		cl, err := cluster.Uniform(2, 3000, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlanner(cl, cluster.FreeCostModel(), dyn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddWebApp(testApp("a", 20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddWebApp(testApp("b", 8)); err != nil {
+			t.Fatal(err)
+		}
+		var plans []*Plan
+		for c := 0; c < 5; c++ {
+			pl, err := p.Plan(float64(c)*60, 60, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.WebPredictedRate = nil // compared separately below
+			plans = append(plans, pl)
+		}
+		return plans
+	}
+	reactive := run(DynamicConfig{})
+	again := run(DynamicConfig{})
+	if !reflect.DeepEqual(reactive, again) {
+		t.Fatal("reactive planner is not deterministic across runs")
+	}
+	withFc := run(DynamicConfig{Forecast: &forecast.Config{SeasonSeconds: 3600}})
+	if !reflect.DeepEqual(reactive, withFc) {
+		t.Fatal("forecast-enabled planner diverged from reactive on constant demand")
+	}
+}
+
+// TestForecastAnticipatesRamp: under a steady demand ramp the
+// forecast-driven planner must predict above the observed rate and —
+// when a competing steady app contests capacity — allocate the ramping
+// app more CPU than the reactive planner does at the same instant: the
+// one-cycle lag the forecaster exists to remove. Taus are set well
+// below the ramp length so the trend converges inside the test.
+func TestForecastAnticipatesRamp(t *testing.T) {
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := NewPlanner(cl, cluster.FreeCostModel(), DynamicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcp, err := NewPlanner(fcl, cluster.FreeCostModel(), DynamicConfig{
+		Forecast: &forecast.Config{
+			SeasonSeconds:   86400,
+			LevelTauSeconds: 120,
+			TrendTauSeconds: 240,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Planner{reactive, fcp} {
+		if err := p.AddWebApp(testApp("ramp", 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddWebApp(testApp("steady", 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const cycle = 60.0
+	const cycles = 40
+	var lastReactive, lastForecast *Plan
+	for c := 0; c < cycles; c++ {
+		now := float64(c) * cycle
+		rate := 10 + float64(c) // +1 req/s every cycle
+		if !reactive.SetArrivalRate("ramp", rate) || !fcp.SetArrivalRate("ramp", rate) {
+			t.Fatal("SetArrivalRate")
+		}
+		if lastReactive, err = reactive.Plan(now, cycle, nil); err != nil {
+			t.Fatal(err)
+		}
+		if lastForecast, err = fcp.Plan(now, cycle, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastReactive.WebPredictedRate != nil {
+		t.Error("reactive plan carries predicted rates")
+	}
+	if lastForecast.WebPredictedRate == nil {
+		t.Fatal("forecast plan carries no predicted rates")
+	}
+	const rampIdx = 0 // plans follow registration order; ramp was added first
+	observed := 10 + float64(cycles-1)
+	pred := lastForecast.WebPredictedRate[rampIdx]
+	if pred <= observed {
+		t.Errorf("predicted rate %g did not extrapolate past observed %g", pred, observed)
+	}
+	if lastForecast.WebAllocMHz[rampIdx] <= lastReactive.WebAllocMHz[rampIdx] {
+		t.Errorf("forecast alloc %g MHz not above reactive %g MHz on an up-ramp",
+			lastForecast.WebAllocMHz[rampIdx], lastReactive.WebAllocMHz[rampIdx])
+	}
+	// The scorecard accumulated: one prediction per cycle, scored at
+	// the next, and on a pure ramp the trend beats the naive
+	// last-value predictor.
+	st, ok := fcp.ForecastStats("ramp")
+	if !ok {
+		t.Fatal("no forecast stats for ramp")
+	}
+	if st.Scored < cycles-5 {
+		t.Errorf("scored = %d, want ≥ %d", st.Scored, cycles-5)
+	}
+	if st.MAPE >= st.NaiveMAPE {
+		t.Errorf("MAPE %.4f did not beat naive %.4f on a ramp", st.MAPE, st.NaiveMAPE)
+	}
+}
+
+// TestSetArrivalRateRejectsNonFinite: NaN and ±Inf must not reach the
+// app model.
+func TestSetArrivalRateRejectsNonFinite(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.AddWebApp(testApp("a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if p.SetArrivalRate("a", bad) {
+			t.Errorf("SetArrivalRate accepted %v", bad)
+		}
+	}
+	if w, _ := p.WebApp("a"); w.ArrivalRate != 5 {
+		t.Errorf("rate changed to %v by rejected input", w.ArrivalRate)
+	}
+}
+
+// TestObserveLoadLifecycle covers the driver-facing forecast surface:
+// enablement flags, sensor feeding, unknown apps, and estimator removal
+// with the app.
+func TestObserveLoadLifecycle(t *testing.T) {
+	p := testPlanner(t)
+	if p.ForecastEnabled() {
+		t.Error("reactive planner claims forecasting")
+	}
+	if cfg := p.ForecastConfig(); cfg != (forecast.Config{}) {
+		t.Errorf("reactive ForecastConfig = %+v, want zero", cfg)
+	}
+	p.ObserveLoad("ghost", 10, 0) // no-op, must not panic
+	if _, ok := p.ForecastStats("ghost"); ok {
+		t.Error("reactive planner returned forecast stats")
+	}
+
+	fcp := forecastPlanner(t)
+	if !fcp.ForecastEnabled() {
+		t.Fatal("forecast planner claims forecasting off")
+	}
+	if cfg := fcp.ForecastConfig(); cfg.SeasonSeconds != 3600 || cfg.Slots != 12 {
+		t.Errorf("ForecastConfig = %+v", cfg)
+	}
+	if err := fcp.AddWebApp(testApp("a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	fcp.ObserveLoad("ghost", 10, 0) // unknown app: ignored
+	if _, ok := fcp.ForecastStats("ghost"); ok {
+		t.Error("estimator created for unknown app")
+	}
+	fcp.ObserveLoad("a", 12, 30)
+	fcp.ObserveLoad("a", 14, 90)
+	st, ok := fcp.ForecastStats("a")
+	if !ok || st.Observations != 2 {
+		t.Fatalf("stats = %+v (ok=%v), want 2 observations", st, ok)
+	}
+	if !fcp.RemoveWebApp("a") {
+		t.Fatal("RemoveWebApp")
+	}
+	if _, ok := fcp.ForecastStats("a"); ok {
+		t.Error("estimator survived app removal")
+	}
+}

@@ -3,10 +3,12 @@ package control
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/core"
+	"dynplace/internal/forecast"
 	"dynplace/internal/obs"
 	"dynplace/internal/scheduler"
 	"dynplace/internal/shard"
@@ -38,6 +40,11 @@ type Planner struct {
 	// configuration asks for at least one shard; nil means every cycle
 	// is one flat placement problem.
 	coord *shard.Coordinator
+
+	// fc estimates per-app demand when forecast-driven control is on
+	// (DynamicConfig.Forecast non-nil); nil keeps the reactive loop and
+	// every forecasting call site a no-op.
+	fc *forecast.Set
 
 	// infeasibleCycles counts Plan calls that failed because no feasible
 	// placement exists (core.ErrInfeasible) — the signal that the
@@ -78,6 +85,9 @@ func RestorePlanner(inv *cluster.Inventory, costs cluster.CostModel, dyn Dynamic
 		}
 		p.coord = coord
 	}
+	if dyn.Forecast != nil {
+		p.fc = forecast.NewSet(*dyn.Forecast)
+	}
 	return p, nil
 }
 
@@ -113,6 +123,7 @@ func (p *Planner) RemoveWebApp(name string) bool {
 		if w.Name == name {
 			p.webApps = append(p.webApps[:i], p.webApps[i+1:]...)
 			p.webPlacement = append(p.webPlacement[:i], p.webPlacement[i+1:]...)
+			p.fc.Remove(name)
 			return true
 		}
 	}
@@ -140,10 +151,12 @@ func (p *Planner) WebApp(name string) (*txn.App, bool) {
 // SetArrivalRate updates the named application's request arrival rate λ —
 // the sensor input the controller reacts to at its next cycle. Rate 0 is
 // valid and quiesces the app: it keeps its registration but demands no
-// CPU until a later rate change revives it. Negative rates are rejected.
+// CPU until a later rate change revives it. Negative and non-finite
+// (NaN/Inf) rates are rejected: a NaN arrival rate would poison every
+// demand term the optimizer derives from it.
 // It reports whether the app was registered and the rate applied.
 func (p *Planner) SetArrivalRate(name string, rate float64) bool {
-	if rate < 0 {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		return false
 	}
 	w, ok := p.WebApp(name)
@@ -152,6 +165,48 @@ func (p *Planner) SetArrivalRate(name string, rate float64) bool {
 	}
 	w.ArrivalRate = rate
 	return true
+}
+
+// ObserveLoad feeds one timestamped arrival-rate observation to the
+// demand estimator — drivers call it on every load-sensor input (API
+// posts, schedule phases) so the forecaster learns at full sensor
+// cadence, not just once per cycle. A no-op when forecasting is off or
+// the app is unknown.
+func (p *Planner) ObserveLoad(name string, rate, now float64) {
+	if p.fc == nil {
+		return
+	}
+	if _, ok := p.WebApp(name); !ok {
+		return
+	}
+	p.fc.Observe(name, now, rate)
+}
+
+// ForecastEnabled reports whether forecast-driven control is active.
+func (p *Planner) ForecastEnabled() bool { return p.fc != nil }
+
+// ForecastConfig returns the estimator configuration in effect (zero
+// value when forecasting is off).
+func (p *Planner) ForecastConfig() forecast.Config { return p.fc.Config() }
+
+// ForecastStats returns the named application's estimator scorecard.
+// ok is false when forecasting is off or the app has never been
+// observed.
+func (p *Planner) ForecastStats(name string) (forecast.Stats, bool) {
+	if p.fc == nil {
+		return forecast.Stats{}, false
+	}
+	return p.fc.Stats(name)
+}
+
+// ForecastRate projects the named application's arrival rate horizon
+// seconds past now. ok is false when forecasting is off or the
+// estimator has no observations yet.
+func (p *Planner) ForecastRate(name string, now, horizon float64) (float64, bool) {
+	if p.fc == nil {
+		return 0, false
+	}
+	return p.fc.Forecast(name, now, horizon)
 }
 
 // Inventory exposes the planner's live node registry. Mutating it (add,
@@ -292,6 +347,10 @@ type Plan struct {
 	WebAllocMHz []float64
 	// WebUtilities is each web app's predicted relative performance.
 	WebUtilities []float64
+	// WebPredictedRate is the per-app arrival rate the optimizer solved
+	// against when forecast-driven control produced this plan (the
+	// predicted next-cycle demand); nil under reactive control.
+	WebPredictedRate []float64
 	// Assignments directs the live batch jobs; jobs without an entry are
 	// to be suspended. Apply them with scheduler.Apply.
 	Assignments []scheduler.Assignment
@@ -403,13 +462,43 @@ func (p *Planner) PlanTraced(now, cycle float64, live []*scheduler.Job, ct *obs.
 		return nil, err
 	}
 
+	// Forecast-driven demand: observe each app's current rate (the
+	// once-per-cycle floor of the estimator's diet — ObserveLoad adds
+	// the irregular sensor inputs between cycles), then substitute the
+	// predicted next-cycle rate for the observed one in the problem the
+	// optimizer solves. The registry apps are never mutated; the
+	// optimizer sees shallow copies carrying the prediction, so
+	// snapshots and the API keep reporting observed demand.
+	var predicted []float64
+	if p.fc != nil {
+		endFc := ct.Span("forecast")
+		predicted = make([]float64, nWeb)
+		for i, w := range p.webApps {
+			p.fc.Observe(w.Name, now, w.ArrivalRate)
+			pred, ok := p.fc.Forecast(w.Name, now, cycle)
+			if !ok {
+				pred = w.ArrivalRate
+			}
+			predicted[i] = pred
+			p.fc.NotePrediction(w.Name, now+cycle, pred, w.ArrivalRate)
+		}
+		plan.WebPredictedRate = predicted
+		endFc()
+	}
+
 	endBuild := ct.Span("build_problem")
 	apps := make([]*core.Application, 0, nWeb+len(live))
 	current := core.NewPlacement(nWeb + len(live))
 	lastNodes := make([]cluster.NodeID, nWeb+len(live))
 	for i, w := range p.webApps {
+		web := w
+		if predicted != nil && predicted[i] != w.ArrivalRate {
+			cp := *w
+			cp.ArrivalRate = predicted[i]
+			web = &cp
+		}
 		apps = append(apps, &core.Application{
-			Name: w.Name, Kind: core.KindWeb, Web: w, AntiCollocate: w.AntiCollocate,
+			Name: w.Name, Kind: core.KindWeb, Web: web, AntiCollocate: w.AntiCollocate,
 		})
 		lastNodes[i] = -1
 		for _, nd := range p.webPlacement[i] {

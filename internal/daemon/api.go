@@ -29,6 +29,8 @@ import (
 //	POST   /v1/apps               register a web application
 //	DELETE /v1/apps/{name}        deregister a web application
 //	POST   /v1/apps/{name}/load   update an application's arrival rate
+//	GET    /v1/apps/{name}/forecast  the demand estimator's state and
+//	                              scorecard (409 when forecasting is off)
 //	POST   /v1/route/{name}       dispatch through the router; body
 //	                              {"n": N} batches N requests in one call
 //	GET    /v1/jobs               job outcomes so far
@@ -89,6 +91,7 @@ func (d *Daemon) Handler() http.Handler {
 	route("POST /apps", d.handleAddApp)
 	route("DELETE /apps/{name}", d.handleRemoveApp)
 	route("POST /apps/{name}/load", d.handleSetLoad)
+	route("GET /apps/{name}/forecast", d.handleForecast)
 	route("POST /route/{name}", d.handleRoute)
 	route("GET /jobs", d.handleJobs)
 	route("POST /jobs", d.handleSubmitJob)
@@ -367,6 +370,21 @@ func (d *Daemon) handleSetLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"app": name, "arrivalRate": req.ArrivalRate})
+}
+
+func (d *Daemon) handleForecast(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	view, err := d.Forecast(name)
+	if err != nil {
+		status := statusFor(err)
+		if errors.Is(err, errForecastDisabled) {
+			// Well-formed request, conflicting daemon configuration.
+			status = http.StatusConflict
+		}
+		d.writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (d *Daemon) handleRoute(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ package daemon
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
 	"dynplace/internal/core"
+	"dynplace/internal/forecast"
 	"dynplace/internal/metrics"
 	"dynplace/internal/router"
 	"dynplace/internal/scheduler"
@@ -382,26 +384,85 @@ func (d *Daemon) SetArrivalRate(name string, rate float64) error {
 		return err
 	}
 	// Rate 0 is valid: it quiesces the app ("no demand") without
-	// deregistering it, releasing its allocation at the next cycle.
-	if rate < 0 {
-		return fmt.Errorf("%w: arrival rate must be nonnegative", ErrDaemon)
+	// deregistering it, releasing its allocation at the next cycle. NaN
+	// and ±Inf are rejected before they can poison the queueing model or
+	// the demand forecaster.
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: arrival rate must be a finite nonnegative number", ErrDaemon)
 	}
 	if _, ok := d.planner.WebApp(name); !ok {
 		return fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
 	}
+	now := d.clock().Now()
 	if err := d.journalLocked(store.Record{
-		Time: d.clock().Now(), Op: store.OpSetLoad, Name: name, Rate: rate,
+		Time: now, Op: store.OpSetLoad, Name: name, Rate: rate,
 	}); err != nil {
 		return err
 	}
-	d.applySetLoad(name, rate)
+	d.applySetLoad(name, rate, now)
 	return nil
 }
 
-func (d *Daemon) applySetLoad(name string, rate float64) {
+func (d *Daemon) applySetLoad(name string, rate, now float64) {
 	d.planner.SetArrivalRate(name, rate)
+	// Load reports are the forecaster's sensor stream; the journaled
+	// timestamp rides along so WAL replay rebuilds the estimator at the
+	// same virtual instants.
+	d.planner.ObserveLoad(name, rate, now)
 	// A manual override supersedes any remaining scheduled phases.
 	delete(d.loadSchedules, name)
+}
+
+// errForecastDisabled reports a forecast read against a daemon running
+// the reactive control loop. Deliberately not an ErrDaemon: the request
+// is well-formed, the daemon's configuration conflicts with it (409).
+var errForecastDisabled = errors.New("forecast-driven control is disabled; start the daemon with -forecast")
+
+// ForecastView is the GET /apps/{name}/forecast response: the demand
+// estimator's state and scorecard for one application, plus the rate it
+// would predict for one control cycle out.
+type ForecastView struct {
+	App string `json:"app"`
+	// ObservedRate is the last reported arrival rate — what the reactive
+	// loop would plan against.
+	ObservedRate float64 `json:"observedRate"`
+	// PredictedRate is the estimator's projection one cycle ahead of the
+	// current clock reading; valid only when PredictionValid (the
+	// estimator needs at least one observation).
+	PredictedRate   float64 `json:"predictedRate"`
+	PredictionValid bool    `json:"predictionValid"`
+	// HorizonSeconds is the prediction horizon (the control cycle T).
+	HorizonSeconds float64         `json:"horizonSeconds"`
+	Config         forecast.Config `json:"config"`
+	Stats          forecast.Stats  `json:"stats"`
+}
+
+// Forecast reports the named application's demand-estimator state. It
+// fails with errForecastDisabled when the daemon runs the reactive loop
+// and ErrNotFound for unknown applications.
+func (d *Daemon) Forecast(name string) (ForecastView, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.gateLocked(); err != nil {
+		return ForecastView{}, err
+	}
+	w, ok := d.planner.WebApp(name)
+	if !ok {
+		return ForecastView{}, fmt.Errorf("%w: unknown web app %q", ErrNotFound, name)
+	}
+	if !d.planner.ForecastEnabled() {
+		return ForecastView{}, errForecastDisabled
+	}
+	view := ForecastView{
+		App:            name,
+		ObservedRate:   w.ArrivalRate,
+		HorizonSeconds: d.cfg.CycleSeconds,
+		Config:         d.planner.ForecastConfig(),
+	}
+	now := d.clock().Now()
+	view.PredictedRate, view.PredictionValid = d.planner.ForecastRate(name, now, d.cfg.CycleSeconds)
+	view.Stats, _ = d.planner.ForecastStats(name)
+	return view, nil
 }
 
 // SubmitJob registers a batch job. When relative is true the spec's

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dynplace/internal/forecast"
 	"dynplace/internal/obs"
 	"dynplace/internal/router"
 	"dynplace/internal/scheduler"
@@ -20,6 +21,7 @@ import (
 var cycleSpanNames = []string{
 	"demand_update",
 	"inventory_snapshot",
+	"forecast",
 	"build_problem",
 	"solve",
 	"shard_rebalance",
@@ -165,6 +167,41 @@ func (d *Daemon) newObsState(shards int, traceCycles int) *obsState {
 			}
 			return out
 		})
+
+	// --- demand forecaster (empty when forecast-driven control is off) ---
+	forecastSamples := func(value func(forecast.Stats) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			if !d.planner.ForecastEnabled() {
+				return nil
+			}
+			apps := d.planner.WebApps()
+			names := make([]string, 0, len(apps))
+			for _, w := range apps {
+				names = append(names, w.Name)
+			}
+			sort.Strings(names)
+			out := make([]obs.Sample, 0, len(names))
+			for _, name := range names {
+				st, ok := d.planner.ForecastStats(name)
+				if !ok {
+					continue
+				}
+				out = append(out, obs.Sample{Labels: []string{"app", name}, Value: value(st)})
+			}
+			return out
+		}
+	}
+	reg.GaugeSampler("dynplace_forecast_abs_error",
+		"Absolute error of the last scored demand prediction, per application (req/s).",
+		forecastSamples(func(s forecast.Stats) float64 { return s.LastAbsError }))
+	reg.GaugeSampler("dynplace_forecast_mape",
+		"Mean absolute percentage error of scored demand predictions, per application.",
+		forecastSamples(func(s forecast.Stats) float64 { return s.MAPE }))
+	reg.GaugeSampler("dynplace_forecast_predicted_rate",
+		"Latest predicted next-cycle arrival rate, per application (req/s).",
+		forecastSamples(func(s forecast.Stats) float64 { return s.PendingPredicted }))
 
 	// --- request router ---
 	routerIns := &router.Instruments{

@@ -410,7 +410,7 @@ func (d *Daemon) applyRecordLocked(rec store.Record) error {
 		d.applyRemoveApp(rec.Name)
 		return nil
 	case store.OpSetLoad:
-		d.applySetLoad(rec.Name, rec.Rate)
+		d.applySetLoad(rec.Name, rec.Rate, rec.Time)
 		return nil
 	case store.OpSubmitJob:
 		if rec.Job == nil {

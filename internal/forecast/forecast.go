@@ -1,0 +1,439 @@
+// Package forecast provides an online per-application demand estimator
+// for the placement controller: a Holt-style exponentially weighted
+// level and trend plus a seasonal template of per-slot-of-season
+// residuals, in the spirit of additive Holt-Winters smoothing but
+// reformulated for irregular observation intervals. Smoothing weights
+// are time-constant based (w = 1 − exp(−Δt/τ)), so an estimator fed on
+// every load observation — API posts, schedule phases and the control
+// cycle itself, at whatever cadence they arrive — converges to the same
+// state as one fed on a fixed grid, and a duplicate observation at
+// (nearly) the same instant carries (nearly) zero weight.
+//
+// The estimator answers Forecast(now, horizon): the predicted arrival
+// rate one horizon ahead, which the planner substitutes for the
+// last-observed rate when forecast-driven control is enabled. Alongside
+// the prediction it keeps an online scorecard — mean absolute error and
+// MAPE of its own predictions versus the naive last-value predictor the
+// reactive controller implicitly uses — so operators can see whether
+// forecasting is earning its keep (see docs/OPERATIONS.md).
+//
+// Like the instruments in internal/obs, every method is nil-safe: a nil
+// *Estimator or *Set ignores updates and reports zero values, so callers
+// thread an optional forecaster without guarding call sites.
+package forecast
+
+import (
+	"math"
+	"sort"
+)
+
+// Default parameters. The season defaults to one day — the diurnal
+// cycle dominating interactive traffic — sliced into 30-minute slots.
+// The level and trend time constants default to SeasonSeconds/4 and
+// SeasonSeconds/2: the level must evolve slowly relative to the season
+// so the seasonal template, not the level, absorbs the recurring shape
+// (a level that chases the diurnal wave leaves nothing to learn).
+const (
+	DefaultSeasonSeconds = 86400
+	DefaultSlots         = 48
+	DefaultSeasonalGamma = 0.5
+
+	levelTauFraction = 4 // LevelTau = SeasonSeconds / levelTauFraction
+	trendTauFraction = 2
+)
+
+// Config parameterizes an estimator. The zero value selects the
+// defaults above.
+type Config struct {
+	// SeasonSeconds is the seasonal period (default one day). The
+	// template repeats with this period.
+	SeasonSeconds float64 `json:"seasonSeconds,omitempty"`
+	// Slots is the number of template buckets per season (default 48,
+	// i.e. 30-minute slots for a one-day season).
+	Slots int `json:"slots,omitempty"`
+	// LevelTauSeconds is the time constant of the level smoother: an
+	// observation Δt after the previous one moves the level by a factor
+	// 1 − exp(−Δt/τ) of the innovation.
+	LevelTauSeconds float64 `json:"levelTauSeconds,omitempty"`
+	// TrendTauSeconds is the time constant of the trend smoother.
+	TrendTauSeconds float64 `json:"trendTauSeconds,omitempty"`
+	// SeasonalGamma is the per-visit EWMA weight of the seasonal
+	// template update, in (0, 1].
+	SeasonalGamma float64 `json:"seasonalGamma,omitempty"`
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c Config) withDefaults() Config {
+	if c.SeasonSeconds <= 0 {
+		c.SeasonSeconds = DefaultSeasonSeconds
+	}
+	if c.Slots <= 0 {
+		c.Slots = DefaultSlots
+	}
+	if c.LevelTauSeconds <= 0 {
+		c.LevelTauSeconds = c.SeasonSeconds / levelTauFraction
+	}
+	if c.TrendTauSeconds <= 0 {
+		c.TrendTauSeconds = c.SeasonSeconds / trendTauFraction
+	}
+	if c.SeasonalGamma <= 0 || c.SeasonalGamma > 1 {
+		c.SeasonalGamma = DefaultSeasonalGamma
+	}
+	return c
+}
+
+// Estimator tracks one application's demand. Not safe for concurrent
+// use; callers (the planner, under the daemon's lock) serialize access.
+type Estimator struct {
+	cfg Config
+
+	init  bool
+	lastT float64 // time of the newest observation
+	level float64 // deseasonalized level at lastT
+	trend float64 // level slope, units/second
+
+	template []float64 // per-slot seasonal residual (value − level)
+	visits   []int64   // observations folded into each slot
+
+	// One outstanding prediction at a time: the planner predicts for
+	// the next cycle, and the first observation at or past the target
+	// scores it against the naive last-value alternative.
+	pending      bool
+	pendingT     float64
+	pendingPred  float64
+	pendingNaive float64
+
+	n             int64 // observations accepted
+	scored        int64 // predictions scored
+	sumAbsErr     float64
+	sumAPE        float64
+	sumNaiveAbs   float64
+	sumNaiveAPE   float64
+	lastAbsErr    float64
+	lastNaiveErr  float64
+	lastScoredAt  float64
+	lastScoredVal float64
+}
+
+// NewEstimator builds an estimator with cfg (zero fields take the
+// package defaults).
+func NewEstimator(cfg Config) *Estimator {
+	cfg = cfg.withDefaults()
+	return &Estimator{
+		cfg:      cfg,
+		template: make([]float64, cfg.Slots),
+		visits:   make([]int64, cfg.Slots),
+	}
+}
+
+// finite reports whether x is a usable number.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Observe feeds one (time, value) sample. Non-finite inputs are
+// ignored. Out-of-order or duplicate-instant samples replace the level
+// (newest wins) without disturbing the trend.
+func (e *Estimator) Observe(t, x float64) {
+	if e == nil || !finite(t) || !finite(x) {
+		return
+	}
+	e.scorePending(t, x)
+	if !e.init {
+		e.init = true
+		e.lastT = t
+		e.level = x
+		e.trend = 0
+		e.updateSeasonal(t, x)
+		e.n++
+		return
+	}
+	dt := t - e.lastT
+	if dt <= 0 {
+		// Same instant (or clock regression): treat as a correction of
+		// the newest sample rather than a new interval.
+		e.level = x - e.seasonalAt(t)
+		e.updateSeasonal(t, x)
+		e.n++
+		return
+	}
+	q := x - e.seasonalAt(t) // deseasonalized observation
+	qhat := e.level + e.trend*dt
+	a := 1 - math.Exp(-dt/e.cfg.LevelTauSeconds)
+	newLevel := qhat + a*(q-qhat)
+	b := 1 - math.Exp(-dt/e.cfg.TrendTauSeconds)
+	e.trend = (1-b)*e.trend + b*(newLevel-e.level)/dt
+	e.level = newLevel
+	e.lastT = t
+	e.updateSeasonal(t, x)
+	e.n++
+}
+
+// updateSeasonal folds the residual of (t, x) into t's template slot.
+func (e *Estimator) updateSeasonal(t, x float64) {
+	s := e.slotOf(t)
+	r := x - e.level
+	if e.visits[s] == 0 {
+		e.template[s] = r
+	} else {
+		e.template[s] += e.cfg.SeasonalGamma * (r - e.template[s])
+	}
+	e.visits[s]++
+}
+
+// slotOf maps a timestamp onto its template slot.
+func (e *Estimator) slotOf(t float64) int {
+	p := math.Mod(t, e.cfg.SeasonSeconds)
+	if p < 0 {
+		p += e.cfg.SeasonSeconds
+	}
+	s := int(p / e.cfg.SeasonSeconds * float64(e.cfg.Slots))
+	if s >= e.cfg.Slots { // guard the p == season edge
+		s = e.cfg.Slots - 1
+	}
+	return s
+}
+
+// seasonalAt evaluates the template at an arbitrary instant,
+// interpolating linearly between adjacent slot centers (circularly) so
+// forecasts do not jump at slot boundaries. Unvisited slots contribute
+// nothing: with one visited neighbor the template reads that neighbor's
+// value; with none it reads zero.
+func (e *Estimator) seasonalAt(t float64) float64 {
+	slots := float64(e.cfg.Slots)
+	width := e.cfg.SeasonSeconds / slots
+	p := math.Mod(t, e.cfg.SeasonSeconds)
+	if p < 0 {
+		p += e.cfg.SeasonSeconds
+	}
+	// Position in slot-center coordinates: slot i's center sits at
+	// (i + 0.5) * width.
+	pos := p/width - 0.5
+	i0 := int(math.Floor(pos))
+	frac := pos - math.Floor(pos)
+	wrap := func(i int) int { return ((i % e.cfg.Slots) + e.cfg.Slots) % e.cfg.Slots }
+	a, b := wrap(i0), wrap(i0+1)
+	av, bv := e.visits[a] > 0, e.visits[b] > 0
+	switch {
+	case av && bv:
+		return (1-frac)*e.template[a] + frac*e.template[b]
+	case av:
+		return e.template[a]
+	case bv:
+		return e.template[b]
+	default:
+		return 0
+	}
+}
+
+// Forecast predicts the value at now + horizon. ok is false until the
+// estimator has seen at least one observation. Predictions are clamped
+// at zero: arrival rates cannot be negative.
+func (e *Estimator) Forecast(now, horizon float64) (value float64, ok bool) {
+	if e == nil || !e.init || !finite(now) || !finite(horizon) {
+		return 0, false
+	}
+	target := now + horizon
+	pred := e.level + e.trend*(target-e.lastT) + e.seasonalAt(target)
+	if pred < 0 {
+		pred = 0
+	}
+	return pred, true
+}
+
+// NotePrediction records an outstanding prediction for the instant
+// target, together with the naive last-value prediction it competes
+// against. The first Observe at or past target scores both. A newer
+// note replaces an unscored older one (the controller predicts each
+// cycle for the next; only the freshest matters).
+func (e *Estimator) NotePrediction(target, predicted, naive float64) {
+	if e == nil || !finite(target) || !finite(predicted) || !finite(naive) {
+		return
+	}
+	e.pending = true
+	e.pendingT = target
+	e.pendingPred = predicted
+	e.pendingNaive = naive
+}
+
+// scorePending resolves the outstanding prediction against an actual
+// observation once time has reached the prediction target.
+func (e *Estimator) scorePending(t, x float64) {
+	if !e.pending || t < e.pendingT-1e-9 {
+		return
+	}
+	e.pending = false
+	abs := math.Abs(x - e.pendingPred)
+	nabs := math.Abs(x - e.pendingNaive)
+	// MAPE with the denominator floored at 1 req/s: night-valley rates
+	// near zero would otherwise dominate the metric for both
+	// predictors. The same floor applies to the naive scorecard, so
+	// the comparison stays fair.
+	den := math.Abs(x)
+	if den < 1 {
+		den = 1
+	}
+	e.scored++
+	e.sumAbsErr += abs
+	e.sumAPE += abs / den
+	e.sumNaiveAbs += nabs
+	e.sumNaiveAPE += nabs / den
+	e.lastAbsErr = abs
+	e.lastNaiveErr = nabs
+	e.lastScoredAt = t
+	e.lastScoredVal = x
+}
+
+// Stats is an estimator's observable state and prediction scorecard.
+type Stats struct {
+	// Observations counts accepted samples; Scored counts resolved
+	// predictions.
+	Observations int64 `json:"observations"`
+	Scored       int64 `json:"scored"`
+	// Level and Trend are the deseasonalized state (units, units/s).
+	Level float64 `json:"level"`
+	Trend float64 `json:"trend"`
+	// MAPE and MeanAbsError score this estimator's predictions;
+	// NaiveMAPE and NaiveMeanAbsError score the last-value predictor
+	// over the same instants. Zero until Scored > 0.
+	MAPE              float64 `json:"mape"`
+	NaiveMAPE         float64 `json:"naiveMape"`
+	MeanAbsError      float64 `json:"meanAbsError"`
+	NaiveMeanAbsError float64 `json:"naiveMeanAbsError"`
+	// LastAbsError is the newest resolved prediction's absolute error —
+	// the value behind the dynplace_forecast_abs_error gauge.
+	LastAbsError float64 `json:"lastAbsError"`
+	// Pending describes the outstanding prediction, if any.
+	Pending          bool    `json:"pending"`
+	PendingTarget    float64 `json:"pendingTarget,omitempty"`
+	PendingPredicted float64 `json:"pendingPredicted,omitempty"`
+}
+
+// Stats returns the scorecard. Safe on a nil estimator (zero value).
+func (e *Estimator) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Observations:     e.n,
+		Scored:           e.scored,
+		Level:            e.level,
+		Trend:            e.trend,
+		LastAbsError:     e.lastAbsErr,
+		Pending:          e.pending,
+		PendingTarget:    e.pendingT,
+		PendingPredicted: e.pendingPred,
+	}
+	if !e.pending {
+		s.PendingTarget, s.PendingPredicted = 0, 0
+	}
+	if e.scored > 0 {
+		n := float64(e.scored)
+		s.MAPE = e.sumAPE / n
+		s.NaiveMAPE = e.sumNaiveAPE / n
+		s.MeanAbsError = e.sumAbsErr / n
+		s.NaiveMeanAbsError = e.sumNaiveAbs / n
+	}
+	return s
+}
+
+// State is an estimator's learned state in exportable form — the golden
+// fixtures in testdata pin it across simulated days.
+type State struct {
+	Level    float64   `json:"level"`
+	Trend    float64   `json:"trend"`
+	Template []float64 `json:"template"`
+	Visits   []int64   `json:"visits"`
+}
+
+// Export snapshots the learned state. Safe on a nil estimator.
+func (e *Estimator) Export() State {
+	if e == nil {
+		return State{}
+	}
+	return State{
+		Level:    e.level,
+		Trend:    e.trend,
+		Template: append([]float64(nil), e.template...),
+		Visits:   append([]int64(nil), e.visits...),
+	}
+}
+
+// Set manages one estimator per application, created lazily on first
+// observation. Not safe for concurrent use (see Estimator).
+type Set struct {
+	cfg  Config
+	apps map[string]*Estimator
+}
+
+// NewSet builds an estimator set; every estimator it creates shares
+// cfg (zero fields take the package defaults).
+func NewSet(cfg Config) *Set {
+	return &Set{cfg: cfg.withDefaults(), apps: make(map[string]*Estimator)}
+}
+
+// Config returns the (default-filled) configuration the set applies to
+// new estimators. Safe on a nil set.
+func (s *Set) Config() Config {
+	if s == nil {
+		return Config{}
+	}
+	return s.cfg
+}
+
+// get returns the named estimator, creating it when create is set.
+func (s *Set) get(name string, create bool) *Estimator {
+	if s == nil {
+		return nil
+	}
+	e := s.apps[name]
+	if e == nil && create {
+		e = NewEstimator(s.cfg)
+		s.apps[name] = e
+	}
+	return e
+}
+
+// Observe feeds one sample for the named application.
+func (s *Set) Observe(name string, t, x float64) {
+	s.get(name, true).Observe(t, x)
+}
+
+// Forecast predicts the named application's value at now + horizon.
+func (s *Set) Forecast(name string, now, horizon float64) (float64, bool) {
+	return s.get(name, false).Forecast(now, horizon)
+}
+
+// NotePrediction records the outstanding prediction for name.
+func (s *Set) NotePrediction(name string, target, predicted, naive float64) {
+	s.get(name, true).NotePrediction(target, predicted, naive)
+}
+
+// Stats returns the named application's scorecard; ok is false for an
+// unknown (never-observed) application.
+func (s *Set) Stats(name string) (Stats, bool) {
+	e := s.get(name, false)
+	if e == nil {
+		return Stats{}, false
+	}
+	return e.Stats(), true
+}
+
+// Remove forgets the named application's estimator.
+func (s *Set) Remove(name string) {
+	if s != nil {
+		delete(s.apps, name)
+	}
+}
+
+// Names lists applications with estimators, sorted for deterministic
+// iteration (metrics exposition, snapshots).
+func (s *Set) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,434 @@
+package trace
+
+// Replay traces: a line-oriented workload format the replay harness
+// (experiments.RunReplaySweep, cmd/tracegen -workload replay) drives a
+// SimClock daemon with. One record per line, space-separated,
+// '#' starts a comment:
+//
+//	season <seconds>
+//	app <name> <rate> <demandMcycles> <baseLatencySec> <goalRTSec> <maxPowerMHz> <memMB>
+//	load <timeSec> <appName> <rate>
+//	job <name> <submitSec> <deadlineSec> <workMcycles> <maxSpeedMHz> <memMB>
+//
+// Apps must be declared before their load events. ParseReplay validates
+// every record (finite numbers, known apps, model invariants) and
+// returns the trace in canonical order — loads sorted by (time, app),
+// jobs by (submit, name) — so EncodeReplay∘ParseReplay is a fixpoint
+// and replays are deterministic regardless of how the file was
+// assembled.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/txn"
+)
+
+// LoadEvent changes one application's arrival rate at a point in time.
+type LoadEvent struct {
+	// Time is the instant in virtual seconds.
+	Time float64
+	// App names the application (declared by an app record).
+	App string
+	// Rate is λ from Time onward, requests/second.
+	Rate float64
+}
+
+// ReplayTrace is a full replay workload: web applications with their
+// initial rates, the load events that move those rates over time, and
+// the batch jobs competing for the same cluster.
+type ReplayTrace struct {
+	// SeasonSeconds is the trace's dominant period (0 = unspecified).
+	// The harness hands it to the forecaster so the seasonal template
+	// matches the trace's diurnal cycle.
+	SeasonSeconds float64
+	// Apps in declaration order (registration order matters for
+	// deterministic replay).
+	Apps []*txn.App
+	// Loads sorted by (Time, App).
+	Loads []LoadEvent
+	// Jobs sorted by (Submit, Name).
+	Jobs []*batch.Spec
+}
+
+// validName rejects names that cannot survive the space-separated
+// format.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r <= ' ' || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// parseFinite parses a strictly finite float.
+func parseFinite(s string) (float64, error) {
+	x, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return x, nil
+}
+
+// canonicalize sorts loads and jobs into the canonical encoding order.
+func (t *ReplayTrace) canonicalize() {
+	sort.SliceStable(t.Loads, func(i, j int) bool {
+		if t.Loads[i].Time != t.Loads[j].Time {
+			return t.Loads[i].Time < t.Loads[j].Time
+		}
+		return t.Loads[i].App < t.Loads[j].App
+	})
+	sort.SliceStable(t.Jobs, func(i, j int) bool {
+		if t.Jobs[i].Submit != t.Jobs[j].Submit {
+			return t.Jobs[i].Submit < t.Jobs[j].Submit
+		}
+		return t.Jobs[i].Name < t.Jobs[j].Name
+	})
+}
+
+// ParseReplay reads and validates a replay trace. Malformed input —
+// unknown records, wrong field counts, non-finite numbers, undeclared
+// apps, duplicate names, model-invariant violations — yields an error
+// naming the offending line, never a panic.
+func ParseReplay(r io.Reader) (*ReplayTrace, error) {
+	out := &ReplayTrace{}
+	apps := make(map[string]bool)
+	jobs := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("trace: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "season":
+			if len(fields) != 2 {
+				return nil, fail("season takes 1 field, got %d", len(fields)-1)
+			}
+			s, err := parseFinite(fields[1])
+			if err != nil || s <= 0 {
+				return nil, fail("bad season %q", fields[1])
+			}
+			out.SeasonSeconds = s
+		case "app":
+			if len(fields) != 8 {
+				return nil, fail("app takes 7 fields, got %d", len(fields)-1)
+			}
+			name := fields[1]
+			if !validName(name) {
+				return nil, fail("bad app name %q", name)
+			}
+			if apps[name] {
+				return nil, fail("duplicate app %q", name)
+			}
+			var nums [6]float64
+			for i := 0; i < 6; i++ {
+				x, err := parseFinite(fields[2+i])
+				if err != nil {
+					return nil, fail("app %s: field %d: %v", name, 2+i, err)
+				}
+				nums[i] = x
+			}
+			app := &txn.App{
+				Name:             name,
+				ArrivalRate:      nums[0],
+				DemandPerRequest: nums[1],
+				BaseLatency:      nums[2],
+				GoalResponseTime: nums[3],
+				MaxPowerMHz:      nums[4],
+				MemoryMB:         nums[5],
+			}
+			if err := app.Validate(); err != nil {
+				return nil, fail("app %s: %v", name, err)
+			}
+			apps[name] = true
+			out.Apps = append(out.Apps, app)
+		case "load":
+			if len(fields) != 4 {
+				return nil, fail("load takes 3 fields, got %d", len(fields)-1)
+			}
+			tm, err := parseFinite(fields[1])
+			if err != nil || tm < 0 {
+				return nil, fail("bad load time %q", fields[1])
+			}
+			name := fields[2]
+			if !apps[name] {
+				return nil, fail("load for undeclared app %q", name)
+			}
+			rate, err := parseFinite(fields[3])
+			if err != nil || rate < 0 {
+				return nil, fail("bad load rate %q", fields[3])
+			}
+			out.Loads = append(out.Loads, LoadEvent{Time: tm, App: name, Rate: rate})
+		case "job":
+			if len(fields) != 7 {
+				return nil, fail("job takes 6 fields, got %d", len(fields)-1)
+			}
+			name := fields[1]
+			if !validName(name) {
+				return nil, fail("bad job name %q", name)
+			}
+			if jobs[name] {
+				return nil, fail("duplicate job %q", name)
+			}
+			var nums [5]float64
+			for i := 0; i < 5; i++ {
+				x, err := parseFinite(fields[2+i])
+				if err != nil {
+					return nil, fail("job %s: field %d: %v", name, 2+i, err)
+				}
+				nums[i] = x
+			}
+			if nums[0] < 0 {
+				return nil, fail("job %s: negative submit time", name)
+			}
+			spec := batch.SingleStage(name, nums[2], nums[3], nums[4], nums[0], nums[1])
+			if err := spec.Validate(); err != nil {
+				return nil, fail("job %s: %v", name, err)
+			}
+			jobs[name] = true
+			out.Jobs = append(out.Jobs, spec)
+		default:
+			return nil, fail("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+	}
+	out.canonicalize()
+	return out, nil
+}
+
+// num formats a float in the shortest form that round-trips exactly.
+func num(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// EncodeReplay writes the trace in canonical form. Multi-stage jobs
+// cannot be expressed in the line format and are rejected, as are names
+// the format cannot carry.
+func EncodeReplay(w io.Writer, t *ReplayTrace) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil replay trace")
+	}
+	cp := &ReplayTrace{
+		SeasonSeconds: t.SeasonSeconds,
+		Apps:          t.Apps,
+		Loads:         append([]LoadEvent(nil), t.Loads...),
+		Jobs:          append([]*batch.Spec(nil), t.Jobs...),
+	}
+	cp.canonicalize()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# dynplace replay trace v1")
+	if cp.SeasonSeconds > 0 {
+		fmt.Fprintf(bw, "season %s\n", num(cp.SeasonSeconds))
+	}
+	for _, a := range cp.Apps {
+		if a == nil || !validName(a.Name) {
+			return fmt.Errorf("trace: unencodable app name %q", appName(a))
+		}
+		fmt.Fprintf(bw, "app %s %s %s %s %s %s %s\n", a.Name,
+			num(a.ArrivalRate), num(a.DemandPerRequest), num(a.BaseLatency),
+			num(a.GoalResponseTime), num(a.MaxPowerMHz), num(a.MemoryMB))
+	}
+	for _, j := range cp.Jobs {
+		if j == nil || !validName(j.Name) {
+			return fmt.Errorf("trace: unencodable job name %q", jobName(j))
+		}
+		if len(j.Stages) != 1 {
+			return fmt.Errorf("trace: job %q: replay format carries single-stage jobs only", j.Name)
+		}
+		st := j.Stages[0]
+		fmt.Fprintf(bw, "job %s %s %s %s %s %s\n", j.Name,
+			num(j.Submit), num(j.Deadline), num(st.WorkMcycles),
+			num(st.MaxSpeedMHz), num(st.MemoryMB))
+	}
+	for _, ev := range cp.Loads {
+		fmt.Fprintf(bw, "load %s %s %s\n", num(ev.Time), ev.App, num(ev.Rate))
+	}
+	return bw.Flush()
+}
+
+func appName(a *txn.App) string {
+	if a == nil {
+		return "<nil>"
+	}
+	return a.Name
+}
+
+func jobName(j *batch.Spec) string {
+	if j == nil {
+		return "<nil>"
+	}
+	return j.Name
+}
+
+// ReplayOptions parameterizes GenerateReplay. The zero value (plus a
+// seed) yields the default Alibaba-style mix: three web applications
+// with staggered diurnal demand over two simulated days, and batch work
+// arriving in night-time bursts.
+type ReplayOptions struct {
+	// Seed drives all randomness; equal options ⇒ equal traces.
+	Seed int64
+	// Apps is the number of web applications (default 3).
+	Apps int
+	// SeasonSeconds is the diurnal period (default one day).
+	SeasonSeconds float64
+	// Seasons is how many periods the trace covers (default 2).
+	Seasons int
+	// SlotSeconds is the load-sampling interval (default 300).
+	SlotSeconds float64
+	// BaseRate and PeakRate bound each app's diurnal swing in
+	// requests/second (defaults 40 and 220).
+	BaseRate, PeakRate float64
+	// NoiseFrac is the multiplicative noise amplitude on each load
+	// sample (default 0.04).
+	NoiseFrac float64
+	// DemandPerRequest is c in Mcycles (default 120).
+	DemandPerRequest float64
+	// GoalResponseTime is the web SLA target in seconds (default 0.25).
+	GoalResponseTime float64
+	// AppMemoryMB is the per-instance web footprint (default 1500).
+	AppMemoryMB float64
+	// Jobs is the number of batch jobs (default 40).
+	Jobs int
+	// JobMemoryMB is the per-job footprint (default 3000).
+	JobMemoryMB float64
+	// BurstsPerSeason is how many arrival bursts each season carries
+	// (default 2); jobs cluster around burst centers in the demand
+	// valleys, the co-located-trace pattern.
+	BurstsPerSeason int
+}
+
+// withDefaults fills zero fields.
+func (o ReplayOptions) withDefaults() ReplayOptions {
+	if o.Apps <= 0 {
+		o.Apps = 3
+	}
+	if o.SeasonSeconds <= 0 {
+		o.SeasonSeconds = 86400
+	}
+	if o.Seasons <= 0 {
+		o.Seasons = 2
+	}
+	if o.SlotSeconds <= 0 {
+		o.SlotSeconds = 300
+	}
+	if o.BaseRate <= 0 {
+		o.BaseRate = 40
+	}
+	if o.PeakRate <= 0 {
+		o.PeakRate = 220
+	}
+	if o.NoiseFrac < 0 {
+		o.NoiseFrac = 0
+	} else if o.NoiseFrac == 0 {
+		o.NoiseFrac = 0.04
+	}
+	if o.DemandPerRequest <= 0 {
+		o.DemandPerRequest = 120
+	}
+	if o.GoalResponseTime <= 0 {
+		o.GoalResponseTime = 0.25
+	}
+	if o.AppMemoryMB <= 0 {
+		o.AppMemoryMB = 1500
+	}
+	if o.Jobs < 0 {
+		o.Jobs = 0
+	} else if o.Jobs == 0 {
+		o.Jobs = 40
+	}
+	if o.JobMemoryMB <= 0 {
+		o.JobMemoryMB = 3000
+	}
+	if o.BurstsPerSeason <= 0 {
+		o.BurstsPerSeason = 2
+	}
+	return o
+}
+
+// GenerateReplay builds a deterministic Alibaba-style replay trace:
+// each web application's arrival rate follows a raised-cosine diurnal
+// wave with a per-app phase offset and multiplicative noise, sampled
+// every SlotSeconds; batch jobs arrive in bursts centered on the demand
+// valleys with deadlines 2–4× their minimum execution time.
+func GenerateReplay(opts ReplayOptions) *ReplayTrace {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	out := &ReplayTrace{SeasonSeconds: o.SeasonSeconds}
+	horizon := float64(o.Seasons) * o.SeasonSeconds
+
+	// Staggered phases spread the peaks across half a season so total
+	// demand shifts between apps instead of swinging in lockstep.
+	rate := func(app int, t, noise float64) float64 {
+		phase := float64(app) / float64(o.Apps) * 0.5 * o.SeasonSeconds
+		wave := 0.5 * (1 - math.Cos(2*math.Pi*(t-phase)/o.SeasonSeconds))
+		r := (o.BaseRate + (o.PeakRate-o.BaseRate)*wave) * (1 + noise)
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+	for a := 0; a < o.Apps; a++ {
+		out.Apps = append(out.Apps, &txn.App{
+			Name:             fmt.Sprintf("web-%02d", a),
+			ArrivalRate:      rate(a, 0, 0),
+			DemandPerRequest: o.DemandPerRequest,
+			BaseLatency:      0.03,
+			GoalResponseTime: o.GoalResponseTime,
+			MemoryMB:         o.AppMemoryMB,
+		})
+	}
+	for tm := o.SlotSeconds; tm < horizon; tm += o.SlotSeconds {
+		for a := 0; a < o.Apps; a++ {
+			noise := o.NoiseFrac * (2*rng.Float64() - 1)
+			out.Loads = append(out.Loads, LoadEvent{
+				Time: tm, App: out.Apps[a].Name, Rate: rate(a, tm, noise),
+			})
+		}
+	}
+
+	// Batch bursts sit in the first app's demand valley (phase 0 puts
+	// its minimum at t = 0 mod season): the night-time window batch
+	// work traditionally fills.
+	bursts := o.Seasons * o.BurstsPerSeason
+	for j := 0; j < o.Jobs; j++ {
+		b := j % bursts
+		season := b / o.BurstsPerSeason
+		center := float64(season)*o.SeasonSeconds +
+			float64(b%o.BurstsPerSeason)*o.SeasonSeconds/float64(o.BurstsPerSeason)
+		submit := center + rng.ExpFloat64()*o.SeasonSeconds/50
+		if submit >= horizon {
+			submit = horizon - 1
+		}
+		minExec := (0.3 + 0.7*rng.Float64()) * o.SeasonSeconds / 8
+		maxSpeed := 3000.0
+		factor := 2 + 2*rng.Float64()
+		out.Jobs = append(out.Jobs, batch.SingleStage(
+			fmt.Sprintf("job-%03d", j),
+			minExec*maxSpeed, maxSpeed, o.JobMemoryMB,
+			submit, submit+factor*minExec))
+	}
+	out.canonicalize()
+	return out
+}

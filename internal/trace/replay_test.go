@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReplayRoundTrip: generate → encode → parse reproduces the trace
+// exactly, and re-encoding the parse is byte-identical (canonical form
+// is a fixpoint).
+func TestReplayRoundTrip(t *testing.T) {
+	tr := GenerateReplay(ReplayOptions{Seed: 7, Seasons: 1, SlotSeconds: 1800, Jobs: 12})
+	var buf bytes.Buffer
+	if err := EncodeReplay(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	first := buf.String()
+
+	got, err := ParseReplay(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip changed the trace:\n got: %+v\nwant: %+v", got, tr)
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeReplay(&buf2, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if buf2.String() != first {
+		t.Error("re-encoding the parsed trace is not byte-identical")
+	}
+}
+
+// TestReplayGeneratorDeterminism: equal options produce byte-equal
+// traces; different seeds differ.
+func TestReplayGeneratorDeterminism(t *testing.T) {
+	opts := ReplayOptions{Seed: 42, Seasons: 1, SlotSeconds: 3600, Jobs: 8}
+	var a, b, c bytes.Buffer
+	if err := EncodeReplay(&a, GenerateReplay(opts)); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeReplay(&b, GenerateReplay(opts)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same options generated different traces")
+	}
+	opts.Seed = 43
+	if err := EncodeReplay(&c, GenerateReplay(opts)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds generated identical traces")
+	}
+}
+
+// TestReplayGeneratorShape checks the structural properties the replay
+// harness depends on: valid models, canonical ordering, rates inside
+// the configured band, jobs inside the horizon.
+func TestReplayGeneratorShape(t *testing.T) {
+	opts := ReplayOptions{Seed: 1, Apps: 4, Seasons: 2, SeasonSeconds: 7200, SlotSeconds: 600, Jobs: 10, NoiseFrac: 0.05}
+	tr := GenerateReplay(opts)
+	if len(tr.Apps) != 4 {
+		t.Fatalf("apps = %d, want 4", len(tr.Apps))
+	}
+	if tr.SeasonSeconds != 7200 {
+		t.Errorf("season = %g, want 7200", tr.SeasonSeconds)
+	}
+	for _, a := range tr.Apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("generated app invalid: %v", err)
+		}
+	}
+	horizon := 2 * 7200.0
+	names := map[string]bool{}
+	for _, a := range tr.Apps {
+		names[a.Name] = true
+	}
+	lo, hi := 40*(1-0.05), 220*(1+0.05)
+	for i, ev := range tr.Loads {
+		if ev.Time <= 0 || ev.Time >= horizon {
+			t.Fatalf("load %d outside horizon: %g", i, ev.Time)
+		}
+		if !names[ev.App] {
+			t.Fatalf("load %d for unknown app %q", i, ev.App)
+		}
+		if ev.Rate < lo || ev.Rate > hi {
+			t.Fatalf("load %d rate %g outside [%g, %g]", i, ev.Rate, lo, hi)
+		}
+		if i > 0 && (ev.Time < tr.Loads[i-1].Time ||
+			(ev.Time == tr.Loads[i-1].Time && ev.App < tr.Loads[i-1].App)) {
+			t.Fatalf("loads not in canonical order at %d", i)
+		}
+	}
+	for i, j := range tr.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("generated job invalid: %v", err)
+		}
+		if j.Submit < 0 || j.Submit >= horizon {
+			t.Errorf("job %q submitted outside horizon: %g", j.Name, j.Submit)
+		}
+		if i > 0 && j.Submit < tr.Jobs[i-1].Submit {
+			t.Fatalf("jobs not sorted by submit at %d", i)
+		}
+	}
+	// The diurnal phases are staggered: not every app peaks at once.
+	// App 0's valley is at t ≈ 0; the last app's phase offset puts its
+	// rate there strictly higher.
+	if tr.Apps[0].ArrivalRate >= tr.Apps[len(tr.Apps)-1].ArrivalRate {
+		t.Errorf("phases not staggered: app0 starts at %g, last app at %g",
+			tr.Apps[0].ArrivalRate, tr.Apps[len(tr.Apps)-1].ArrivalRate)
+	}
+}
+
+// TestParseReplayRejectsMalformed: every malformed line is rejected
+// with an error naming the line — and never a panic.
+func TestParseReplayRejectsMalformed(t *testing.T) {
+	app := "app web 10 120 0.03 0.25 0 1500\n"
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"unknown record", "frob 1 2 3\n", "unknown record"},
+		{"app field count", "app web 10 120\n", "app takes 7 fields"},
+		{"app bad name", "app  10 120 0.03 0.25 0 1500\n", "bad app name"},
+		{"app NaN rate", "app web NaN 120 0.03 0.25 0 1500\n", "non-finite"},
+		{"app Inf demand", "app web 10 +Inf 0.03 0.25 0 1500\n", "non-finite"},
+		{"app negative rate", "app web -1 120 0.03 0.25 0 1500\n", "arrival rate"},
+		{"app goal below latency", "app web 10 120 0.5 0.25 0 1500\n", "unreachable"},
+		{"duplicate app", app + app, "duplicate app"},
+		{"load field count", app + "load 5 web\n", "load takes 3 fields"},
+		{"load undeclared app", "load 5 ghost 10\n", "undeclared app"},
+		{"load negative time", app + "load -5 web 10\n", "bad load time"},
+		{"load bad time", app + "load x web 10\n", "bad load time"},
+		{"load negative rate", app + "load 5 web -10\n", "bad load rate"},
+		{"load NaN rate", app + "load 5 web nan\n", "bad load rate"},
+		{"job field count", "job j 0 10\n", "job takes 6 fields"},
+		{"job bad number", "job j 0 10 xyz 3000 100\n", "invalid syntax"},
+		{"job negative submit", "job j -1 10 1000 3000 100\n", "negative submit"},
+		{"job deadline before submit", "job j 10 5 1000 3000 100\n", "deadline"},
+		{"job zero work", "job j 0 10 0 3000 100\n", "work must be positive"},
+		{"duplicate job", "job j 0 10 1000 3000 100\njob j 1 11 1000 3000 100\n", "duplicate job"},
+		{"bad season", "season -5\n", "bad season"},
+		{"season field count", "season 1 2\n", "season takes 1 field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseReplay(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("ParseReplay accepted %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Errorf("error %q does not name the line", err)
+			}
+		})
+	}
+}
+
+// TestParseReplayAcceptsNoise: comments, blank lines and arbitrary
+// whitespace are tolerated; records out of canonical order are sorted.
+func TestParseReplayAcceptsNoise(t *testing.T) {
+	input := `
+# a comment
+  # indented comment
+
+app   web   10 120 0.03 0.25 0 1500
+load 900 web 20
+load 300 web 15
+job late 500 9000 1000 3000 100
+job early 100 9000 1000 3000 100
+season 3600
+`
+	tr, err := ParseReplay(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if tr.SeasonSeconds != 3600 || len(tr.Apps) != 1 || len(tr.Loads) != 2 || len(tr.Jobs) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", tr)
+	}
+	if tr.Loads[0].Time != 300 || tr.Loads[1].Time != 900 {
+		t.Errorf("loads not sorted: %+v", tr.Loads)
+	}
+	if tr.Jobs[0].Name != "early" || tr.Jobs[1].Name != "late" {
+		t.Errorf("jobs not sorted: %v, %v", tr.Jobs[0].Name, tr.Jobs[1].Name)
+	}
+}
+
+// TestEncodeReplayRejectsUnencodable: nil traces, multi-stage jobs and
+// names the space-separated format cannot carry.
+func TestEncodeReplayRejectsUnencodable(t *testing.T) {
+	if err := EncodeReplay(&bytes.Buffer{}, nil); err == nil {
+		t.Error("encoded nil trace")
+	}
+	bad := GenerateReplay(ReplayOptions{Seed: 1, Seasons: 1, SlotSeconds: 3600, Jobs: 1})
+	bad.Apps[0].Name = "has space"
+	if err := EncodeReplay(&bytes.Buffer{}, bad); err == nil {
+		t.Error("encoded app name with a space")
+	}
+	multi := GenerateReplay(ReplayOptions{Seed: 1, Seasons: 1, SlotSeconds: 3600, Jobs: 1})
+	multi.Jobs[0].Stages = append(multi.Jobs[0].Stages, multi.Jobs[0].Stages[0])
+	if err := EncodeReplay(&bytes.Buffer{}, multi); err == nil {
+		t.Error("encoded multi-stage job")
+	}
+	badJob := GenerateReplay(ReplayOptions{Seed: 1, Seasons: 1, SlotSeconds: 3600, Jobs: 1})
+	badJob.Jobs[0].Name = "tab\tname"
+	if err := EncodeReplay(&bytes.Buffer{}, badJob); err == nil {
+		t.Error("encoded job name with a tab")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"dynplace/internal/cluster"
 	"dynplace/internal/control"
+	"dynplace/internal/forecast"
 	"dynplace/internal/scheduler"
 )
 
@@ -22,6 +23,7 @@ type settings struct {
 	policyName string
 	dynamic    bool
 	webNodes   []cluster.NodeID
+	forecast   *forecast.Config
 
 	epsilon           float64
 	maxPasses         int
@@ -93,6 +95,56 @@ func WithDynamicPlacement() Option {
 			return fmt.Errorf("%w: dynamic placement excludes WithPolicy", ErrBadOption)
 		}
 		s.dynamic = true
+		return nil
+	}
+}
+
+// ForecastSpec configures the online demand estimator behind
+// forecast-driven placement. Zero fields take the estimator defaults
+// (one-day season, 48 template slots, smoothing time constants derived
+// from the season).
+type ForecastSpec struct {
+	// SeasonSeconds is the seasonal period of the demand pattern.
+	SeasonSeconds float64
+	// Slots is the number of seasonal-template buckets per season.
+	Slots int
+	// LevelTauSeconds and TrendTauSeconds are the time constants of
+	// the level and trend smoothers: an observation Δt after the
+	// previous one moves the estimate by 1 − exp(−Δt/τ) of the
+	// innovation.
+	LevelTauSeconds float64
+	TrendTauSeconds float64
+	// SeasonalGamma is the per-visit EWMA weight of the seasonal
+	// template update, in (0, 1].
+	SeasonalGamma float64
+}
+
+// WithForecast plans each control cycle against predicted next-cycle
+// demand instead of the last observed arrival rate, using the default
+// estimator configuration (one-day season, 48 template slots).
+// Requires WithDynamicPlacement.
+func WithForecast() Option {
+	return WithForecastSpec(ForecastSpec{})
+}
+
+// WithForecastSpec is WithForecast with an explicit estimator
+// configuration. Requires WithDynamicPlacement.
+func WithForecastSpec(spec ForecastSpec) Option {
+	return func(s *settings) error {
+		if spec.SeasonSeconds < 0 || spec.Slots < 0 ||
+			spec.LevelTauSeconds < 0 || spec.TrendTauSeconds < 0 {
+			return fmt.Errorf("%w: forecast parameters must be nonnegative", ErrBadOption)
+		}
+		if spec.SeasonalGamma < 0 || spec.SeasonalGamma > 1 {
+			return fmt.Errorf("%w: seasonal gamma must be in [0, 1]", ErrBadOption)
+		}
+		s.forecast = &forecast.Config{
+			SeasonSeconds:   spec.SeasonSeconds,
+			Slots:           spec.Slots,
+			LevelTauSeconds: spec.LevelTauSeconds,
+			TrendTauSeconds: spec.TrendTauSeconds,
+			SeasonalGamma:   spec.SeasonalGamma,
+		}
 		return nil
 	}
 }
@@ -265,6 +317,9 @@ func (s *settings) build() (control.Config, error) {
 		Costs:        s.costs,
 		WebNodes:     s.webNodes,
 	}
+	if s.forecast != nil && !s.dynamic {
+		return control.Config{}, fmt.Errorf("%w: WithForecast requires WithDynamicPlacement", ErrBadOption)
+	}
 	switch {
 	case s.dynamic:
 		cfg.Dynamic = &control.DynamicConfig{
@@ -274,6 +329,7 @@ func (s *settings) build() (control.Config, error) {
 			Parallelism:       s.parallelism,
 			Shards:            s.shards.Count,
 			ShardSeed:         s.shards.Seed,
+			Forecast:          s.forecast,
 		}
 	case s.policyName == "" || s.policyName == "apc":
 		cfg.Policy = &scheduler.APC{

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Enforce the statement-coverage floor on the forecasting stack: the
+# demand estimator and the trace codec feed placement decisions, so
+# untested branches there turn directly into misplacements. The floor
+# is per package, read from the standard `go test -cover` summary.
+set -euo pipefail
+
+FLOOR=85
+PACKAGES=(./internal/forecast ./internal/trace)
+
+fail=0
+for pkg in "${PACKAGES[@]}"; do
+    out=$(go test -cover "$pkg")
+    echo "$out"
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "coverage_floor: no coverage figure in output for $pkg" >&2
+        fail=1
+        continue
+    fi
+    below=$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN {print (p < f) ? 1 : 0}')
+    if [ "$below" = "1" ]; then
+        echo "coverage_floor: $pkg at ${pct}% is below the ${FLOOR}% floor" >&2
+        fail=1
+    fi
+done
+exit $fail
