@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck docs build test shuffle bench recovery-smoke fuzz cover
+.PHONY: check fmt vet lint staticcheck docs build test shuffle bench recovery-smoke fuzz cover
 
-check: fmt vet staticcheck docs build test
+check: fmt vet lint staticcheck docs build test
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -15,6 +15,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The project's own analyzers (clockhygiene, detrange, lockguard,
+# errwrap, nilsafe — see internal/analysis). Exceptions need a reasoned
+# //dynplace:ignore <analyzer> <reason> directive; dynplacevet -list
+# describes each analyzer.
+lint:
+	$(GO) run ./cmd/dynplacevet ./...
 
 # staticcheck is optional locally (install with:
 #   go install honnef.co/go/tools/cmd/staticcheck@2025.1)

@@ -1,10 +1,12 @@
 // Command doccheck keeps the documentation set honest in CI: it
 // verifies that every relative link in the repository's markdown files
-// points at a file that exists, and that every Go package in the tree
-// carries a package-level doc comment. It is the docs counterpart of go
-// vet — make check and the CI docs job run it on every change, so a
-// renamed file or an undocumented package fails the build instead of
-// rotting silently.
+// points at a file that exists, that every Go package in the tree
+// carries a package-level doc comment, and that every
+// //dynplace:ignore suppression directive names an analyzer
+// dynplacevet actually ships and carries a reason. It is the docs
+// counterpart of go vet — make check and the CI docs job run it on
+// every change, so a renamed file, an undocumented package or a
+// misspelled suppression fails the build instead of rotting silently.
 //
 // Usage:
 //
@@ -15,7 +17,9 @@
 // artifacts (PAPER.md, PAPERS.md, SNIPPETS.md), whose links reference
 // material outside the repository. The package-comment guard covers the
 // whole tree. External links (http, https, mailto) are not fetched; the
-// check is purely structural, so it is fast and works offline.
+// check is purely structural, so it is fast and works offline. The
+// directive check is textual (it parses comments, not types), so it
+// covers _test.go files the full dynplacevet run does not load.
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"dynplace/internal/analysis"
 )
 
 func main() {
@@ -47,10 +53,11 @@ func main() {
 	}
 }
 
-// run returns one message per broken link or undocumented package.
+// run returns one message per broken link, undocumented package or
+// malformed suppression directive.
 func run(root string) ([]string, error) {
 	var problems []string
-	md, pkgs, err := collect(root)
+	md, pkgs, goFiles, err := collect(root)
 	if err != nil {
 		return nil, err
 	}
@@ -71,12 +78,21 @@ func run(root string) ([]string, error) {
 			problems = append(problems, fmt.Sprintf("%s: package has no package-level doc comment", rel))
 		}
 	}
+	for _, f := range goFiles {
+		ps, err := checkDirectives(root, f)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
 	return problems, nil
 }
 
-// collect walks the tree for markdown files and Go package directories,
-// skipping VCS and vendor-ish directories.
-func collect(root string) (md, pkgs []string, err error) {
+// collect walks the tree for markdown files, Go package directories
+// and Go files (tests included, for the directive check), skipping VCS
+// and vendor-ish directories. testdata is skipped too: the analysis
+// package's golden files contain deliberately malformed directives.
+func collect(root string) (md, pkgs, goFiles []string, err error) {
 	seen := map[string]bool{}
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -92,7 +108,11 @@ func collect(root string) (md, pkgs []string, err error) {
 		switch {
 		case strings.HasSuffix(name, ".md") && maintainedDoc(root, path):
 			md = append(md, path)
-		case strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go"):
+		case strings.HasSuffix(name, ".go"):
+			goFiles = append(goFiles, path)
+			if strings.HasSuffix(name, "_test.go") {
+				break
+			}
 			dir := filepath.Dir(path)
 			if !seen[dir] {
 				seen[dir] = true
@@ -101,7 +121,54 @@ func collect(root string) (md, pkgs []string, err error) {
 		}
 		return nil
 	})
-	return md, pkgs, err
+	return md, pkgs, goFiles, err
+}
+
+// knownAnalyzers are the valid //dynplace:ignore targets: the
+// analyzers dynplacevet ships, straight from the analysis package so
+// the two can never drift.
+var knownAnalyzers = func() map[string]bool {
+	known := make(map[string]bool)
+	for _, name := range analysis.Names() {
+		known[name] = true
+	}
+	return known
+}()
+
+// checkDirectives parses one Go file's comments and validates every
+// //dynplace:ignore directive in it: the analyzer named must be real
+// and a reason is mandatory. Mirrors the validation dynplacevet itself
+// performs, but also covers _test.go files.
+func checkDirectives(root, path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	rel, _ := filepath.Rel(root, path)
+	var problems []string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//dynplace:ignore")
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				problems = append(problems, fmt.Sprintf("%s:%d: dynplace:ignore needs an analyzer name and a reason", rel, line))
+			case !knownAnalyzers[fields[0]]:
+				problems = append(problems, fmt.Sprintf("%s:%d: dynplace:ignore names unknown analyzer %q", rel, line, fields[0]))
+			case len(fields) == 1:
+				problems = append(problems, fmt.Sprintf("%s:%d: dynplace:ignore %s needs a reason", rel, line, fields[0]))
+			}
+		}
+	}
+	return problems, nil
 }
 
 // maintainedDoc reports whether a markdown file belongs to the

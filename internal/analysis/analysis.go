@@ -1,0 +1,162 @@
+// Package analysis is the in-repo static-analysis framework behind
+// cmd/dynplacevet: a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis that machine-enforces the invariants
+// the reproduction's correctness rests on — deterministic solver
+// packages never read the wall clock (clockhygiene), map iteration
+// never feeds ordering-sensitive state unsorted (detrange), mutex
+// protection declared on struct fields is actually held at every
+// access (lockguard), sentinel errors are matched with errors.Is and
+// wrapped with %w (errwrap), and instrument types keep their
+// nil-receiver no-op contract (nilsafe).
+//
+// The framework is built only on the standard library's go/ast and
+// go/types: packages are enumerated with `go list -deps -json` and
+// type-checked from source, so the checker needs no module
+// dependencies and runs in any environment that has the Go toolchain.
+//
+// Exceptions are declared in-line, next to the code they excuse:
+//
+//	//dynplace:ignore <analyzer> <reason>
+//
+// suppresses findings of the named analyzer on the same line (trailing
+// comment) or on the next code line (comment line above). A directive
+// with an unknown analyzer name or an empty reason is itself a finding
+// that cannot be suppressed, so every exception stays visible and
+// justified.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //dynplace:ignore directives. It must be a single lowercase
+	// word.
+	Name string
+	// Doc is the one-paragraph description printed by
+	// dynplacevet -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's import path ("dynplace/internal/core"),
+	// or the bare directory name for packages loaded with LoadDir.
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced
+// it, and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// DirectiveAnalyzer is the reserved analyzer name under which
+// malformed //dynplace:ignore directives are reported. Findings under
+// this name cannot be suppressed.
+const DirectiveAnalyzer = "directive"
+
+// Run executes every analyzer on every package, applies the
+// //dynplace:ignore suppression directives, validates the directives
+// themselves, and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	// Directives may name any analyzer dynplacevet ships, even when a
+	// subset is being run, so a partial run never misreports a valid
+	// directive as unknown.
+	for _, name := range Names() {
+		known[name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ImportPath: pkg.ImportPath,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	var directives []directive
+	for _, pkg := range pkgs {
+		ds, bad := scanDirectives(pkg, known)
+		directives = append(directives, ds...)
+		diags = append(diags, bad...)
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != DirectiveAnalyzer && suppressed(d, directives) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressed reports whether a valid directive covers the finding.
+func suppressed(d Diagnostic, directives []directive) bool {
+	for _, dir := range directives {
+		if dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename && dir.targetLine == d.Pos.Line {
+			return true
+		}
+	}
+	return false
+}

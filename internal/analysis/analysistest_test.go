@@ -1,0 +1,213 @@
+package analysis
+
+// The golden-file test harness: each testdata/<analyzer> directory is
+// one package exercising an analyzer's positive, negative and
+// suppression cases. Expected findings are declared in-line with
+//
+//	// want "regexp"
+//
+// trailing comments on the offending line (several quoted patterns on
+// one comment expect several findings on that line). The harness runs
+// the full Run pipeline — analyzer, directive scan, suppression — so a
+// //dynplace:ignore case with no want comment asserts the suppression
+// actually worked.
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes the type-checked standard library across the
+// package's tests, so each testdata directory pays only for its own
+// files.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+func testLoader() *Loader {
+	loaderOnce.Do(func() { sharedLoader = &Loader{} })
+	return sharedLoader
+}
+
+// want is one expected finding: a file position and a pattern the
+// diagnostic message must match.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantPat extracts the quoted patterns of a want comment — double- or
+// backtick-quoted. The capture is used verbatim as a regexp, no
+// unquoting, so `\.` escapes work without doubling.
+var wantPat = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// runAnalyzerTest loads testdata/<dir> as one package, runs the
+// analyzers through the full pipeline and diffs the findings against
+// the want comments.
+func runAnalyzerTest(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg, err := testLoader().LoadDir("testdata/" + dir)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", dir, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on testdata/%s: %v", dir, err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantPat.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestClockHygiene(t *testing.T) {
+	runAnalyzerTest(t, "clockhygiene", []*Analyzer{ClockHygiene(ClockHygieneConfig{
+		AllowedFiles: map[string][]string{"clockhygiene": {"allowed.go"}},
+	})})
+}
+
+func TestDetRange(t *testing.T) {
+	runAnalyzerTest(t, "detrange", []*Analyzer{DetRange(DetRangeConfig{
+		Packages: []string{"detrange"},
+	})})
+}
+
+func TestLockGuard(t *testing.T) {
+	runAnalyzerTest(t, "lockguard", []*Analyzer{LockGuard()})
+}
+
+func TestErrWrap(t *testing.T) {
+	runAnalyzerTest(t, "errwrap", []*Analyzer{ErrWrap()})
+}
+
+func TestNilSafe(t *testing.T) {
+	runAnalyzerTest(t, "nilsafe", []*Analyzer{NilSafe(NilSafeConfig{
+		Packages: []string{"nilsafe"},
+	})})
+}
+
+// TestDirectiveValidation checks that malformed //dynplace:ignore
+// directives are themselves findings — under the reserved "directive"
+// analyzer name, which no directive can suppress.
+func TestDirectiveValidation(t *testing.T) {
+	pkg, err := testLoader().LoadDir("testdata/directive")
+	if err != nil {
+		t.Fatalf("loading testdata/directive: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, nil)
+	if err != nil {
+		t.Fatalf("running directive scan: %v", err)
+	}
+	wantMsgs := []string{
+		`unknown analyzer "zzz"`,
+		"needs a reason",
+		"needs an analyzer name and a reason",
+	}
+	if len(diags) != len(wantMsgs) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(wantMsgs), diags)
+	}
+	for i, d := range diags {
+		if d.Analyzer != DirectiveAnalyzer {
+			t.Errorf("finding %d reported by %q, want %q", i, d.Analyzer, DirectiveAnalyzer)
+		}
+	}
+	for _, msg := range wantMsgs {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, msg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q in %v", msg, diags)
+		}
+	}
+}
+
+// TestNamesMatchDefaultAnalyzers pins Names() — the directive
+// vocabulary doccheck validates against — to the analyzers dynplacevet
+// actually runs.
+func TestNamesMatchDefaultAnalyzers(t *testing.T) {
+	analyzers := DefaultAnalyzers()
+	names := Names()
+	if len(analyzers) != len(names) {
+		t.Fatalf("DefaultAnalyzers has %d entries, Names has %d", len(analyzers), len(names))
+	}
+	for i, a := range analyzers {
+		if a.Name != names[i] {
+			t.Errorf("analyzer %d is %q, Names()[%d] is %q", i, a.Name, i, names[i])
+		}
+	}
+}
+
+// TestRepoIsClean is the meta-test: the shipped configuration must
+// find nothing in the repository itself, so `make lint` and CI stay
+// green and every suppression in the tree remains deliberate.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	pkgs, err := testLoader().Load("dynplace/...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := Run(pkgs, DefaultAnalyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the package time functions that read or depend
+// on the wall clock. Pure conversions and arithmetic (time.Duration,
+// time.Unix, time.Date, ...) stay allowed everywhere: they are
+// deterministic given their inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// ClockHygieneConfig scopes the clockhygiene analyzer.
+type ClockHygieneConfig struct {
+	// AllowedPackages lists import paths where wall-clock reads are
+	// legitimate. An entry ending in "/" matches as a prefix.
+	AllowedPackages []string
+	// AllowedFiles maps an import path to file base names within it
+	// that may use the wall clock even though the package may not —
+	// the WallClock implementation inside the otherwise-deterministic
+	// daemon package.
+	AllowedFiles map[string][]string
+}
+
+func (cfg ClockHygieneConfig) allows(importPath, file string) bool {
+	for _, p := range cfg.AllowedPackages {
+		if p == importPath || (strings.HasSuffix(p, "/") && strings.HasPrefix(importPath, p)) {
+			return true
+		}
+	}
+	for _, f := range cfg.AllowedFiles[importPath] {
+		if f == file {
+			return true
+		}
+	}
+	return false
+}
+
+// ClockHygiene returns the clockhygiene analyzer: wall-clock reads
+// (time.Now, time.Since, time.Sleep, timers) are forbidden outside an
+// explicit allowlist, so the deterministic packages — solver, control
+// loop, sharding, scheduler, forecasting, simulation, store, trace —
+// can never grow a hidden wall-clock dependency. Deterministic code
+// tells time through the pluggable Clock abstraction instead; timing
+// instrumentation that provably cannot alter outputs carries a
+// reasoned //dynplace:ignore.
+func ClockHygiene(cfg ClockHygieneConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "clockhygiene",
+		Doc: "forbids wall-clock reads (time.Now/Since/Sleep/timers) outside the allowlisted packages;\n" +
+			"deterministic packages must tell time through the injected Clock",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			file := baseOf(pass, f)
+			if cfg.allows(pass.ImportPath, file) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if _, isFunc := obj.(*types.Func); !isFunc || !wallClockFuncs[obj.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic package %s; use the injected Clock", obj.Name(), pass.ImportPath)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// baseOf returns the base file name an AST file was parsed from.
+func baseOf(pass *Pass, f *ast.File) string {
+	name := pass.Fset.Position(f.Pos()).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRangeConfig scopes the detrange analyzer to the packages whose
+// output must be bit-identical run to run.
+type DetRangeConfig struct {
+	// Packages lists the import paths checked. An entry ending in "/"
+	// matches as a prefix. Empty means every package.
+	Packages []string
+}
+
+func (cfg DetRangeConfig) covers(importPath string) bool {
+	if len(cfg.Packages) == 0 {
+		return true
+	}
+	for _, p := range cfg.Packages {
+		if p == importPath || (strings.HasSuffix(p, "/") && strings.HasPrefix(importPath, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetRange returns the detrange analyzer: inside the deterministic
+// solver/placement packages, iterating a map while appending to or
+// indexing into a slice declared outside the loop produces
+// run-to-run-varying order — exactly the class of bug that silently
+// breaks the bit-identical-output contract the parallel and sharded
+// solvers are pinned to. A loop is accepted when every slice it feeds
+// is sorted afterwards in the same enclosing block (the collect-keys,
+// sort, iterate idiom); anything subtler needs a sort or a reasoned
+// //dynplace:ignore.
+func DetRange(cfg DetRangeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "detrange",
+		Doc: "in deterministic packages, a range over a map must not feed a slice\n" +
+			"(append or index write) unless the slice is sorted afterwards in the same block",
+	}
+	a.Run = func(pass *Pass) error {
+		if !cfg.covers(pass.ImportPath) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			checkFileRanges(pass, f)
+		}
+		return nil
+	}
+	return a
+}
+
+// checkFileRanges visits every range statement with its enclosing
+// block in hand, so a flagged loop can look at the statements that
+// follow it (the trailing-sort escape). Switch/select cases hold
+// their statements outside a BlockStmt and are walked explicitly.
+func checkFileRanges(pass *Pass, f *ast.File) {
+	checkList := func(list []ast.Stmt) {
+		for i, stmt := range list {
+			if ls, ok := stmt.(*ast.LabeledStmt); ok {
+				stmt = ls.Stmt
+			}
+			if rs, ok := stmt.(*ast.RangeStmt); ok {
+				checkRange(pass, rs, list, i)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			checkList(n.List)
+		case *ast.CaseClause:
+			checkList(n.Body)
+		case *ast.CommClause:
+			checkList(n.Body)
+		}
+		return true
+	})
+}
+
+// checkRange analyzes one range statement appearing at block[idx].
+func checkRange(pass *Pass, rs *ast.RangeStmt, block []ast.Stmt, idx int) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	sinks := orderSinks(pass, rs)
+	if len(sinks) == 0 {
+		return
+	}
+	for _, sink := range sinks {
+		if idx >= 0 && sortedAfter(pass, block, idx+1, sink) {
+			continue
+		}
+		pass.Reportf(rs.Pos(), "map iteration order feeds %s; sort the keys first or sort %s afterwards (bit-identical-output contract)", sink.text, sink.text)
+	}
+}
+
+// sink is one ordering-sensitive write target found in a loop body.
+type sink struct {
+	text string       // printed form of the target expression
+	obj  types.Object // root object, for matching sort calls
+}
+
+// orderSinks collects the slices a map-range body writes to in an
+// order-dependent way: appends and element writes where the target is
+// declared outside the loop. Writes to maps are order-independent and
+// ignored; loop-local slices die with the iteration and are ignored
+// too. An element write indexed purely by the range key
+// (`out[k] = f(k, v)`) hits a distinct element per iteration whatever
+// the order, so it is deterministic and ignored — unless the
+// right-hand side reads the sink back (prefix sums and the like),
+// which reintroduces order dependence.
+func orderSinks(pass *Pass, rs *ast.RangeStmt) []sink {
+	var sinks []sink
+	seen := map[string]bool{}
+	var keyObj types.Object
+	if keyID, ok := rs.Key.(*ast.Ident); ok {
+		keyObj = pass.TypesInfo.Defs[keyID]
+		if keyObj == nil {
+			keyObj = pass.TypesInfo.Uses[keyID]
+		}
+	}
+	add := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[root]
+		}
+		if obj == nil {
+			return
+		}
+		// Declared inside the loop: scoped to one iteration, harmless.
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return
+		}
+		text := types.ExprString(e)
+		if seen[text] {
+			return
+		}
+		seen[text] = true
+		sinks = append(sinks, sink{text: text, obj: obj})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			// x = append(x, ...) and friends.
+			if i < len(as.Rhs) {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					add(lhs)
+					continue
+				}
+			}
+			// s[i] = v on a slice or array element.
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Array, *types.Pointer:
+						rhs := as.Rhs
+						if keyObj != nil && keyOnlyExpr(pass, ix.Index, keyObj) && !mentions(pass, rhs, ix.X) {
+							continue
+						}
+						add(ix.X)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// keyOnlyExpr reports whether every identifier in the index
+// expression resolves to the range key variable (selections off the
+// key and constants are fine) — the write then lands on a distinct
+// element per iteration.
+func keyOnlyExpr(pass *Pass, e ast.Expr, keyObj types.Object) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		switch obj := obj.(type) {
+		case nil:
+			return true // selector field names resolve via Selections
+		case *types.Const, *types.Func, *types.Builtin, *types.TypeName, *types.PkgName:
+			return true
+		case *types.Var:
+			if obj == keyObj || obj.IsField() {
+				return true
+			}
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// mentions reports whether any of the expressions reads the sink
+// expression (textual match on the printed form).
+func mentions(pass *Pass, exprs []ast.Expr, sinkExpr ast.Expr) bool {
+	want := types.ExprString(sinkExpr)
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if ex, ok := n.(ast.Expr); ok && types.ExprString(ex) == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent strips selectors, indexes, stars and parens down to the
+// base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs are the sort/slices calls that impose a deterministic
+// order on their first argument.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether any statement from block[from:] sorts
+// the sink — matching the collect-then-sort idiom.
+func sortedAfter(pass *Pass, block []ast.Stmt, from int, s sink) bool {
+	for _, stmt := range block[from:] {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if !sortFuncs[obj.Pkg().Name()+"."+obj.Name()] {
+				return true
+			}
+			if root := rootIdent(call.Args[0]); root != nil {
+				robj := pass.TypesInfo.Uses[root]
+				if robj == s.obj || types.ExprString(call.Args[0]) == s.text {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

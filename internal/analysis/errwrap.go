@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap returns the errwrap analyzer. Sentinel errors — exported
+// package-level `var ErrX = errors.New(...)` values — are part of the
+// API contract: callers match them through wrapping chains. The
+// analyzer therefore flags
+//
+//   - direct comparison of an error against a sentinel (== / != or a
+//     switch case), which breaks as soon as anyone wraps the error:
+//     use errors.Is;
+//   - matching errors by their message text (strings.Contains and
+//     friends over err.Error(), or comparing err.Error() against a
+//     literal), which breaks on any rewording;
+//   - fmt.Errorf formatting an error argument with %v/%s, which
+//     discards the chain errors.Is needs: wrap with %w.
+func ErrWrap() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrap",
+		Doc: "sentinel errors must be matched with errors.Is (never == or message text)\n" +
+			"and wrapped with %w so the chain survives",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkBinary(pass, n)
+				case *ast.SwitchStmt:
+					checkSwitch(pass, n)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, n)
+					checkStringMatch(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isSentinel reports whether e is a use of an exported package-level
+// error variable named Err* (possibly qualified: core.ErrInfeasible).
+func isSentinel(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || len(obj.Name()) < 4 {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Identical(t, errType)
+}
+
+func checkBinary(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		if name, ok := isSentinel(pass, pair[0]); ok && !isNil(pass, pair[1]) {
+			pass.Reportf(b.Pos(), "%s compared with %s; wrapped errors will not match — use errors.Is", name, b.Op)
+			return
+		}
+	}
+	// err.Error() == "some text" (either side).
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		if isErrorCall(pass, pair[0]) {
+			pass.Reportf(b.Pos(), "error matched by message text; use errors.Is against the sentinel")
+			return
+		}
+	}
+}
+
+func isNil(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func checkSwitch(pass *Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(s.Tag)) {
+		return
+	}
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := isSentinel(pass, e); ok {
+				pass.Reportf(e.Pos(), "%s matched in a switch case; wrapped errors will not match — use errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error
+// argument with %v/%s/%q instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	verbs, ok := formatVerbs(lit.Value)
+	if !ok {
+		return // indexed or otherwise exotic format; out of scope
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		if isErrorType(pass.TypesInfo.TypeOf(args[i])) {
+			pass.Reportf(args[i].Pos(), "error formatted with %%%c loses the chain; wrap with %%w", verb)
+		}
+	}
+}
+
+// formatVerbs returns, for each argument a quoted format string
+// consumes in order, the final verb character. It reports !ok for
+// explicit argument indexes (%[1]s), which would break the positional
+// mapping.
+func formatVerbs(quoted string) ([]byte, bool) {
+	var verbs []byte
+	s := quoted[1 : len(quoted)-1] // interpretation of escapes is irrelevant to verbs
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(s) && s[i] == '%' {
+			continue
+		}
+		// Flags, width, precision; each '*' consumes an argument of
+		// its own. The first letter ends the verb.
+		for i < len(s) {
+			c := s[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}
+
+// isErrorCall reports whether e is a call of the error interface's
+// Error method.
+func isErrorCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// stringMatchers are the strings-package predicates that, applied to
+// err.Error(), amount to matching an error by its message.
+var stringMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+}
+
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strings" || !stringMatchers[obj.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorCall(pass, arg) {
+			pass.Reportf(call.Pos(), "error matched by message text (strings.%s over Error()); use errors.Is against the sentinel", obj.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage mirrors the `go list -json` fields the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// Loader enumerates packages with `go list` and type-checks them from
+// source, so analysis needs neither compiled export data nor any
+// module dependency. A Loader memoizes type-checked packages; reuse
+// one instance across Load/LoadDir calls to pay for the standard
+// library closure only once. A Loader is not safe for concurrent use.
+type Loader struct {
+	// Dir is the directory `go list` runs in — normally the module
+	// root. Empty means the current directory.
+	Dir string
+
+	fset  *token.FileSet
+	typed map[string]*types.Package
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.typed = map[string]*types.Package{"unsafe": types.Unsafe}
+	}
+}
+
+// Import resolves an already-type-checked package for the type
+// checker. Standard-library-vendored packages are listed under a
+// vendor/ prefix but imported bare, hence the fallback.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.typed[path]; ok {
+		return p, nil
+	}
+	if p, ok := l.typed["vendor/"+path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %s has not been loaded", path)
+}
+
+// Load type-checks the packages matching the go list patterns (plus
+// their full dependency closure) and returns the matched packages.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			if err := l.checkDep(lp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pkg, err := l.checkTarget(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a single
+// package — how analysistest loads testdata packages that are
+// invisible to `go list`. The returned ImportPath is the directory's
+// base name.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.init()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	var missing []string
+	for path := range imports {
+		if _, err := l.Import(path); err != nil {
+			missing = append(missing, path)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		listed, err := l.goList(missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if err := l.checkDep(lp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l.typeCheck(filepath.Base(dir), dir, files)
+}
+
+// goList runs `go list -deps -json` and returns the packages in
+// dependency order (dependencies before dependents). CGO_ENABLED=0
+// keeps every listed file type-checkable pure-Go source.
+func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,Imports", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for dec.More() {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// checkDep type-checks a dependency package without retaining ASTs or
+// type information. Dependency packages only need to export their
+// types; errors inside them (e.g. compiler-internal builtins) are
+// tolerated as long as the exported surface materializes.
+func (l *Loader) checkDep(lp *listPackage) error {
+	if _, done := l.typed[lp.ImportPath]; done || lp.ImportPath == "unsafe" {
+		return nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing dependency %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkg, _ := conf.Check(lp.ImportPath, l.fset, files, nil)
+	if pkg == nil {
+		return fmt.Errorf("type-checking dependency %s produced no package", lp.ImportPath)
+	}
+	l.typed[lp.ImportPath] = pkg
+	return nil
+}
+
+// checkTarget parses a target package with comments and type-checks
+// it with full type information.
+func (l *Loader) checkTarget(lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.typeCheck(lp.ImportPath, lp.Dir, files)
+}
+
+func (l *Loader) typeCheck(importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(importPath, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, firstErr)
+	}
+	l.typed[importPath] = pkg
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Lockguard annotations:
+//
+//	// dynplace:guardedby <field>
+//
+// on a struct field declares that the sibling mutex field <field>
+// must be held for every access to the annotated field.
+//
+//	// dynplace:holds <expr>
+//
+// on a function or method declares that the caller already holds the
+// named mutex on entry — the machine-readable form of the old
+// "Callers hold d.mu" prose. When <expr> starts with the method's
+// receiver name ("d.mu"), call sites are checked against the callee's
+// receiver expression; otherwise the text is matched verbatim (a
+// package-level mutex).
+const (
+	guardedByMarker = "dynplace:guardedby"
+	holdsMarker     = "dynplace:holds"
+)
+
+// LockGuard returns the lockguard analyzer. It checks, within one
+// package, that every access to a // dynplace:guardedby <mutex> field
+// happens while the named mutex is held, and that every call to a
+// // dynplace:holds <mutex> function is made with that mutex held.
+//
+// Lock state is tracked conservatively and textually in source order:
+// x.mu.Lock()/RLock() marks "x.mu" held, x.mu.Unlock()/RUnlock()
+// clears it, defer x.mu.Unlock() keeps it held to function end.
+// Function literals start with no locks held unless they are invoked
+// immediately or passed to sort/slices helpers that run them
+// synchronously; accesses to a struct freshly constructed in the same
+// function are exempt (it is not shared yet). Sites the tracker
+// cannot verify need restructuring or a reasoned //dynplace:ignore.
+func LockGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "lockguard",
+		Doc: "accesses to // dynplace:guardedby <mutex> struct fields must happen with the mutex held;\n" +
+			"// dynplace:holds <mutex> declares a function's lock precondition, checked at call sites",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuarded(pass)
+		holds := collectHolds(pass)
+		if len(guarded) == 0 && len(holds) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c := &lockChecker{pass: pass, guarded: guarded, holds: holds}
+				seed := map[string]bool{}
+				if pre, ok := holds[pass.TypesInfo.Defs[fd.Name]]; ok {
+					seed[pre] = true
+				}
+				c.fresh = freshLocals(pass, fd.Body)
+				c.checkBody(fd.Body, seed)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuarded maps annotated field objects to the name of their
+// guarding sibling mutex field.
+func collectGuarded(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := markerArg(field.Doc, guardedByMarker)
+				if mutex == "" {
+					mutex = markerArg(field.Comment, guardedByMarker)
+				}
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectHolds maps annotated function objects to their declared
+// precondition expression text.
+func collectHolds(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pre := markerArg(fd.Doc, holdsMarker); pre != "" {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = pre
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markerArg extracts the argument of "// <marker> <arg>" from a
+// comment group.
+func markerArg(cg *ast.CommentGroup, marker string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, marker)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 1 {
+			return fields[0]
+		}
+	}
+	return ""
+}
+
+// declReceiverName finds the receiver name of the method that defines
+// obj, so a "d.mu" precondition can be rebased onto the caller's
+// receiver expression. Returns "" for package functions.
+func (c *lockChecker) declReceiverName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return sig.Recv().Name()
+}
+
+// freshLocals collects local variables initialized from a composite
+// literal or new() in this body: objects that cannot be shared with
+// another goroutine yet, whose guarded fields may be set without the
+// lock (the constructor pattern).
+func freshLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if isFreshExpr(pass, as.Rhs[i]) {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isFreshExpr(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	return false
+}
+
+// lockChecker walks one function body tracking held mutexes.
+type lockChecker struct {
+	pass    *Pass
+	guarded map[types.Object]string
+	holds   map[types.Object]string
+	fresh   map[types.Object]bool
+}
+
+// checkBody walks stmts in source order with the given initial held
+// set, mutating it at Lock/Unlock calls and checking guarded accesses
+// and holds-annotated calls as they appear.
+func (c *lockChecker) checkBody(body ast.Node, held map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal that runs later (goroutine, callback, timer)
+			// cannot rely on the enclosing function's locks. Literals
+			// the runtime invokes synchronously — immediate calls and
+			// sort/slices comparators — inherit the current set.
+			// handled at the call-site cases below; a bare literal
+			// reached here starts empty.
+			c.checkBody(n.Body, map[string]bool{})
+			return false
+		case *ast.DeferStmt:
+			// defer x.mu.Unlock() keeps the lock held to function
+			// end; any other deferred call is walked for accesses
+			// with the current set (it will run at exit, where the
+			// tracked set is an approximation — conservative enough).
+			if key, kind := c.lockOp(n.Call); kind == opUnlock {
+				_ = key // intentionally not cleared
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			return c.checkCall(n, held)
+		case *ast.SelectorExpr:
+			c.checkAccess(n, held)
+			return true
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex, sync.RWMutex or sync.Locker, returning the held-set key
+// (the printed receiver expression).
+func (c *lockChecker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	t := c.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), kind
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkCall handles lock transitions, holds-annotated callees and
+// synchronous function-literal arguments. It returns whether the
+// walker should descend into the call's children normally.
+func (c *lockChecker) checkCall(call *ast.CallExpr, held map[string]bool) bool {
+	if key, kind := c.lockOp(call); kind != opNone {
+		switch kind {
+		case opLock:
+			held[key] = true
+		case opUnlock:
+			delete(held, key)
+		}
+		return false
+	}
+
+	// Calls to functions that declare a lock precondition.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+			if pre, ok := c.holds[obj]; ok {
+				req := pre
+				if recv := c.declReceiverName(obj); recv != "" && strings.HasPrefix(pre, recv+".") {
+					req = types.ExprString(sel.X) + strings.TrimPrefix(pre, recv)
+				}
+				base := rootIdent(sel.X)
+				freshBase := base != nil && c.isFresh(base)
+				if !held[req] && !freshBase {
+					c.pass.Reportf(call.Pos(), "call to %s requires %s held (dynplace:holds)", obj.Name(), req)
+				}
+			}
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			if pre, ok := c.holds[obj]; ok && !held[pre] {
+				c.pass.Reportf(call.Pos(), "call to %s requires %s held (dynplace:holds)", obj.Name(), pre)
+			}
+		}
+	}
+
+	// An immediately-invoked literal runs synchronously: inherit.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, arg := range call.Args {
+			c.checkExprArg(arg, held)
+		}
+		c.checkBody(lit.Body, copySet(held))
+		return false
+	}
+
+	// Literals passed to sort/slices run before the call returns.
+	if c.isSyncHigherOrder(call) {
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				c.checkBody(lit.Body, copySet(held))
+			} else {
+				c.checkExprArg(arg, held)
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// checkExprArg walks a non-literal argument expression for accesses.
+func (c *lockChecker) checkExprArg(e ast.Expr, held map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkBody(n.Body, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			c.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// isSyncHigherOrder reports whether the call is a sort/slices helper
+// that invokes its function arguments before returning.
+func (c *lockChecker) isSyncHigherOrder(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	pkg := obj.Pkg().Path()
+	return pkg == "sort" || pkg == "slices" || pkg == "maps"
+}
+
+func (c *lockChecker) isFresh(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && c.fresh[obj]
+}
+
+// checkAccess reports a guarded-field access made without its mutex.
+func (c *lockChecker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	mutex, ok := c.guarded[selection.Obj()]
+	if !ok {
+		return
+	}
+	base := sel.X
+	// For promoted/nested accesses (d.inner.field), the mutex sibling
+	// lives on the struct that declares the field: the guard key is
+	// the access path up to the field, plus the mutex name.
+	req := types.ExprString(base) + "." + mutex
+	if held[req] {
+		return
+	}
+	if root := rootIdent(base); root != nil && c.isFresh(root) {
+		return
+	}
+	c.pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s (dynplace:guardedby) but the lock is not held here", types.ExprString(sel), req)
+}
+
+func copySet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nilSafeMarker declares, in a type's doc comment, that the type is
+// an instrument with the nil-receiver no-op contract:
+//
+//	// dynplace:nilsafe
+//
+// Every exported pointer-receiver method of a marked type must begin
+// with a nil-receiver guard, so instrumented code can hold
+// possibly-nil instrument pointers without branching.
+const nilSafeMarker = "dynplace:nilsafe"
+
+// NilSafeConfig scopes where the marker itself is mandatory.
+type NilSafeConfig struct {
+	// Packages lists import paths (exact, or prefix when ending in
+	// "/") where a type that already guards a method against a nil
+	// receiver must carry the marker — keeping the contract declared,
+	// not incidental. Marked types are checked in every package.
+	Packages []string
+}
+
+func (cfg NilSafeConfig) covers(importPath string) bool {
+	for _, p := range cfg.Packages {
+		if p == importPath || (strings.HasSuffix(p, "/") && strings.HasPrefix(importPath, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// NilSafe returns the nilsafe analyzer enforcing the instrument
+// contract from the observability layer: calling any method on a nil
+// instrument is a no-op. For every type marked // dynplace:nilsafe,
+// each exported pointer-receiver method must start with an
+// `if recv == nil` guard. Inside the configured packages the analyzer
+// additionally demands the marker on types that already nil-guard a
+// method, so the contract cannot exist only by convention.
+func NilSafe(cfg NilSafeConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "nilsafe",
+		Doc: "exported pointer-receiver methods of // dynplace:nilsafe instrument types must begin\n" +
+			"with a nil-receiver guard (the all-instruments-are-nil-safe-no-ops contract)",
+	}
+	a.Run = func(pass *Pass) error {
+		marked := markedTypes(pass)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				recvType, recvName, isPointer := receiverInfo(fd)
+				if recvType == "" || !isPointer {
+					continue
+				}
+				guarded := startsWithNilGuard(fd, recvName) || delegatesToSibling(fd, recvName)
+				if marked[recvType] {
+					if !guarded {
+						pass.Reportf(fd.Name.Pos(), "exported method %s.%s on dynplace:nilsafe type must begin with a nil-receiver guard", recvType, fd.Name.Name)
+					}
+					continue
+				}
+				if guarded && cfg.covers(pass.ImportPath) {
+					pass.Reportf(fd.Name.Pos(), "%s.%s nil-guards its receiver but type %s lacks the // dynplace:nilsafe marker; add it so the contract is enforced", recvType, fd.Name.Name, recvType)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// markedTypes collects the names of types whose declaration doc
+// carries the nilsafe marker.
+func markedTypes(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc) || hasMarker(gd.Doc) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == nilSafeMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverInfo returns the receiver's type name, binding name and
+// whether it is a pointer receiver.
+func receiverInfo(fd *ast.FuncDecl) (typeName, bindName string, pointer bool) {
+	if len(fd.Recv.List) == 0 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		pointer = true
+		t = star.X
+	}
+	// Generic receivers ([T any]) index the type name.
+	switch t := t.(type) {
+	case *ast.Ident:
+		typeName = t.Name
+	case *ast.IndexExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	if len(field.Names) > 0 {
+		bindName = field.Names[0].Name
+	}
+	return typeName, bindName, pointer
+}
+
+// startsWithNilGuard reports whether the method body's first
+// statement is `if recv == nil { ... }` (possibly with further ||
+// disjuncts) whose body returns, or a bare `if recv == nil { return }`.
+func startsWithNilGuard(fd *ast.FuncDecl, recvName string) bool {
+	if recvName == "" || len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condHasNilCheck(ifs.Cond, recvName) {
+		return false
+	}
+	return bodyExits(ifs.Body)
+}
+
+// delegatesToSibling accepts the one-liner wrapper pattern: a body
+// whose single statement is a call (or returned call) of another
+// method on the same receiver — `h.Observe(...)` — which carries the
+// guard itself. Calling a method through a nil pointer receiver is
+// legal; the sibling's own guard makes the wrapper a no-op.
+func delegatesToSibling(fd *ast.FuncDecl, recvName string) bool {
+	if recvName == "" || len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := fd.Body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = stmt.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(stmt.Results) == 1 {
+			call, _ = stmt.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isIdentNamed(sel.X, recvName)
+}
+
+// condHasNilCheck looks for `recv == nil` as the condition or as a
+// disjunct of a top-level || chain.
+func condHasNilCheck(cond ast.Expr, recvName string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condHasNilCheck(e.X, recvName) || condHasNilCheck(e.Y, recvName)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return isIdentNamed(e.X, recvName) && isNilIdent(e.Y) ||
+			isIdentNamed(e.Y, recvName) && isNilIdent(e.X)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// bodyExits reports whether the guard body ends control flow in the
+// method (return or panic).
+func bodyExits(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package clockhygiene
+
+import "time"
+
+// allowedFile reads the wall clock freely: the test config allowlists
+// this file, the way daemon/clock.go hosts WallClock inside the
+// otherwise-deterministic daemon package.
+func allowedFile() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

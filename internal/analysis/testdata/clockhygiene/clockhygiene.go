@@ -1,0 +1,32 @@
+// Package clockhygiene exercises the clockhygiene analyzer: wall-clock
+// reads are findings, deterministic time arithmetic is not, and both
+// the file allowlist and the suppression directive silence them.
+package clockhygiene
+
+import "time"
+
+func bad() time.Time {
+	t := time.Now()         // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(t)       // want `time\.Since reads the wall clock`
+	return t
+}
+
+func timers() {
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	_ = time.After(time.Second)     // want `time\.After reads the wall clock`
+}
+
+// good uses only deterministic conversions and arithmetic, which are
+// allowed everywhere.
+func good() time.Time {
+	d := 3 * time.Second
+	u := time.Unix(42, 0)
+	return u.Add(d)
+}
+
+func ignored() {
+	time.Sleep(0) //dynplace:ignore clockhygiene exercising the trailing suppression form
+	//dynplace:ignore clockhygiene exercising the standalone suppression form
+	_ = time.Now()
+}

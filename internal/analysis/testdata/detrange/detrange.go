@@ -1,0 +1,62 @@
+// Package detrange exercises the detrange analyzer: map ranges feeding
+// slices are findings unless the write is keyed purely by the range
+// key, the slice is sorted afterwards in the same block, or a reasoned
+// suppression covers the loop.
+package detrange
+
+import "sort"
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order feeds keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badCounterIndex(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m { // want `map iteration order feeds out`
+		out[i] = v
+		i++
+	}
+}
+
+// goodSortedAfter is the collect-then-sort idiom: the trailing sort
+// erases the iteration order.
+func goodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodKeyIndexed writes each element exactly once, at the index the
+// range key dictates — deterministic whatever the iteration order.
+func goodKeyIndexed(m map[int]float64, out []float64) {
+	for i, v := range m {
+		out[i] = v * 2
+	}
+}
+
+// goodLoopLocal feeds a slice that dies with each iteration.
+func goodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func ignored(m map[string]int) []string {
+	var keys []string
+	//dynplace:ignore detrange order is irrelevant for this diagnostic dump
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,12 @@
+// Package directive exercises validation of the //dynplace:ignore
+// directive itself: unknown analyzer names, missing reasons and
+// missing arguments are unsuppressable findings.
+package directive
+
+func covered() int {
+	x := 1 //dynplace:ignore zzz not a real analyzer
+	//dynplace:ignore errwrap
+	y := 2
+	//dynplace:ignore
+	return x + y
+}

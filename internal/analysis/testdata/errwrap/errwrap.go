@@ -1,0 +1,63 @@
+// Package errwrap exercises the errwrap analyzer: sentinel errors are
+// matched with errors.Is — never ==, switch cases or message text —
+// and wrapped with %w so the chain survives.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBoom is a sentinel: exported, package-level, Err-prefixed.
+var ErrBoom = errors.New("boom")
+
+func cmpBad(err error) bool {
+	return err == ErrBoom // want `ErrBoom compared with ==`
+}
+
+func cmpNeq(err error) bool {
+	return ErrBoom != err // want `ErrBoom compared with !=`
+}
+
+// cmpGood: nil comparisons and errors.Is are the sanctioned forms.
+func cmpGood(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrBoom)
+}
+
+func switchBad(err error) string {
+	switch err {
+	case ErrBoom: // want `ErrBoom matched in a switch case`
+		return "boom"
+	default:
+		return ""
+	}
+}
+
+func textContains(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `error matched by message text`
+}
+
+func textEqual(err error) bool {
+	return err.Error() == "boom" // want `error matched by message text`
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("solving: %v", err) // want `error formatted with %v loses the chain`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("solving: %s", err) // want `error formatted with %s loses the chain`
+}
+
+// wrapGood uses %w; non-error arguments may use any verb.
+func wrapGood(err error, n int) error {
+	return fmt.Errorf("solving %d apps: %w", n, err)
+}
+
+func ignored(err error) bool {
+	return err == ErrBoom //dynplace:ignore errwrap comparing a sealed unwrapped API error for exactness
+}

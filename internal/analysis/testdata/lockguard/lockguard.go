@@ -1,0 +1,76 @@
+// Package lockguard exercises the lockguard analyzer: accesses to
+// dynplace:guardedby fields must hold the declared mutex, and calls to
+// dynplace:holds functions must be made with the precondition lock
+// held.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the count.
+	// dynplace:guardedby mu
+	n int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want `c\.n is guarded by c\.mu`
+}
+
+func (c *counter) unlockTooEarly() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `c\.n is guarded by c\.mu`
+}
+
+// bump requires the lock on entry.
+//
+// dynplace:holds c.mu
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) callWell() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *counter) callBadly() {
+	c.bump() // want `call to bump requires c\.mu held`
+}
+
+// leak captures the receiver in a literal that outlives the critical
+// section: the literal's body starts with no locks held.
+func (c *counter) leak() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c\.n is guarded by c\.mu`
+	}
+}
+
+// fresh builds a counter no other goroutine can reach yet; the
+// constructor pattern writes guarded fields without the lock.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+func (c *counter) racyRead() int {
+	//dynplace:ignore lockguard approximate read is fine for this gauge
+	return c.n
+}

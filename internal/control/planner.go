@@ -81,7 +81,7 @@ func RestorePlanner(inv *cluster.Inventory, costs cluster.CostModel, dyn Dynamic
 	if dyn.Shards >= 1 {
 		coord, err := shard.New(shard.Config{Count: dyn.Shards, Seed: dyn.ShardSeed})
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 		}
 		p.coord = coord
 	}

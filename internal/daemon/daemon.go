@@ -120,25 +120,49 @@ type Daemon struct {
 	replayedRecords int
 	baseCycles      int64
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// planner is the control-loop state machine.
+	// dynplace:guardedby mu
 	planner *control.Planner
-	router  *router.Router
-	jobs    []*scheduler.Job
+	// router is set once by New and never reassigned; the Router's own
+	// lock-free dataplane makes the pointer safe to use without d.mu
+	// (Dispatch runs on the request path, outside any daemon lock).
+	router *router.Router
+	// jobs is the live job set.
+	// dynplace:guardedby mu
+	jobs []*scheduler.Job
 	// jobSeen keeps every name ever submitted so job identities stay
 	// unambiguous for the API's lifetime; unlike the Job records it
 	// grows only by a small string per submission.
-	jobSeen       map[string]bool
-	completed     *metrics.Ring[dynplace.JobResult]
+	// dynplace:guardedby mu
+	jobSeen map[string]bool
+	// completed retains finished-job results.
+	// dynplace:guardedby mu
+	completed *metrics.Ring[dynplace.JobResult]
+	// loadSchedules holds pending per-app load phases.
+	// dynplace:guardedby mu
 	loadSchedules map[string][]dynplace.LoadPhase
-	actions       *metrics.Counter
-	history       *metrics.Ring[CycleSnapshot]
-	running       bool
-	runGen        int
-	cancelTick    func() bool
+	// actions accumulates lifetime placement-action totals (a plain
+	// metrics.Counter; see its locking note).
+	// dynplace:guardedby mu
+	actions *metrics.Counter
+	// history is the bounded per-cycle snapshot ring.
+	// dynplace:guardedby mu
+	history *metrics.Ring[CycleSnapshot]
+	// running reports whether the tick chain is live.
+	// dynplace:guardedby mu
+	running bool
+	// runGen invalidates ticks from a previous Start.
+	// dynplace:guardedby mu
+	runGen int
+	// cancelTick stops the pending tick callback.
+	// dynplace:guardedby mu
+	cancelTick func() bool
 	// infeasibleStreak counts consecutive cycles whose planning failed
 	// with core.ErrInfeasible; it resets to zero when a cycle succeeds
 	// and is published on every snapshot so /healthz can report a
 	// degraded state truthfully.
+	// dynplace:guardedby mu
 	infeasibleStreak int
 
 	// cycles and placement are written under mu but read lock-free so
@@ -337,7 +361,9 @@ func (d *Daemon) AddWebApp(spec dynplace.WebAppSpec, relative bool) error {
 // applyAddApp registers a compiled app with the planner and seeds a
 // capacity-less routing entry so requests arriving before the first
 // cycle places the app are queued by overload protection instead of
-// bouncing as "unknown application". Callers hold d.mu.
+// bouncing as "unknown application".
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyAddApp(app *txn.App, phases []dynplace.LoadPhase) error {
 	if err := d.planner.AddWebApp(app); err != nil {
 		return err
@@ -369,6 +395,10 @@ func (d *Daemon) RemoveWebApp(name string) error {
 	return nil
 }
 
+// applyRemoveApp deregisters an app everywhere: planner, pending load
+// schedule, router table. Shared by the live API and WAL replay.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyRemoveApp(name string) {
 	d.planner.RemoveWebApp(name)
 	delete(d.loadSchedules, name)
@@ -403,6 +433,10 @@ func (d *Daemon) SetArrivalRate(name string, rate float64) error {
 	return nil
 }
 
+// applySetLoad records an observed arrival rate. Shared by the live
+// API and WAL replay.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applySetLoad(name string, rate, now float64) {
 	d.planner.SetArrivalRate(name, rate)
 	// Load reports are the forecaster's sensor stream; the journaled
@@ -501,6 +535,10 @@ func (d *Daemon) SubmitJob(spec dynplace.JobSpec, relative bool) error {
 	return nil
 }
 
+// applySubmitJob registers one journaled job submission. Shared by the
+// live API and WAL replay.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applySubmitJob(internal *batch.Spec) {
 	d.jobSeen[internal.Name] = true
 	d.jobs = append(d.jobs, scheduler.NewJob(internal))
@@ -690,7 +728,9 @@ func (d *Daemon) FailNode(name string) error {
 // vanishes, jobs on the node are advanced to the failure instant and
 // evicted (progress intact, rescue pending), and the node's dispatch
 // weights are withdrawn. Shared by the live API and WAL replay, which
-// passes the journaled failure time. Callers hold d.mu.
+// passes the journaled failure time.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyFailNode(name string, now float64) {
 	inv := d.planner.Inventory()
 	n, ok := inv.ByName(name)
@@ -794,7 +834,9 @@ func countActive(nodes []NodeView) int {
 }
 
 // nodeViews builds the per-node views from the current inventory and the
-// given placement occupancy. Callers hold d.mu.
+// given placement occupancy.
+//
+// dynplace:holds d.mu
 func (d *Daemon) nodeViews(web []WebPlacementView, jobs []JobPlacementView) []NodeView {
 	webOn := make(map[string]int)
 	for _, w := range web {
@@ -876,7 +918,9 @@ func (d *Daemon) WebAppNames() []string {
 	return names
 }
 
-// liveJobs returns submitted, incomplete jobs at now. Callers hold d.mu.
+// liveJobs returns submitted, incomplete jobs at now.
+//
+// dynplace:holds d.mu
 func (d *Daemon) liveJobs(now float64) []*scheduler.Job {
 	out := make([]*scheduler.Job, 0, len(d.jobs))
 	for _, j := range d.jobs {
@@ -890,7 +934,9 @@ func (d *Daemon) liveJobs(now float64) []*scheduler.Job {
 
 // applyLoadSchedules advances each app's arrival rate to the latest
 // scheduled phase that has begun, then prunes the phases that have taken
-// effect so the schedule shrinks to nothing over time. Callers hold d.mu.
+// effect so the schedule shrinks to nothing over time.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyLoadSchedules(now float64) {
 	for name, phases := range d.loadSchedules {
 		var future []dynplace.LoadPhase
@@ -929,7 +975,8 @@ func (d *Daemon) tick(gen int, now float64) {
 }
 
 // runCycle is one control-loop iteration: observe, plan, act, publish.
-// Callers hold d.mu.
+//
+// dynplace:holds d.mu
 func (d *Daemon) runCycle(now float64) {
 	// The trace opens with the cycle ordinal this iteration will get;
 	// d.cycles only advances under d.mu, so Load()+1 here equals the
@@ -1114,6 +1161,9 @@ func (d *Daemon) runCycle(now float64) {
 	d.recordCycleObs(d.obs.tracer.Finish(trace, ""), false)
 }
 
+// nodeName resolves a node ID to its display name.
+//
+// dynplace:holds d.mu
 func (d *Daemon) nodeName(id cluster.NodeID) string {
 	n, ok := d.planner.Inventory().Node(id)
 	if !ok {

@@ -41,7 +41,9 @@ var ErrRecovering = errors.New("daemon: recovering, durable state not rebuilt ye
 // boot compaction would write a snapshot whose sequence covers it,
 // permanently dropping an acknowledged write. Recover on a fresh state
 // directory is a cheap no-op, so the gate costs callers nothing beyond
-// calling Recover before Start. Callers hold d.mu.
+// calling Recover before Start.
+//
+// dynplace:holds d.mu
 func (d *Daemon) gateLocked() error {
 	if !d.recovered.Load() {
 		return fmt.Errorf("%w: call Recover before mutating a durable daemon", ErrRecovering)
@@ -50,16 +52,18 @@ func (d *Daemon) gateLocked() error {
 }
 
 // journalLocked appends one record to the WAL and fsyncs. It is a no-op
-// without a store or while Recover is re-applying history. Callers hold
-// d.mu; a non-nil error means the mutation must not be applied (or must
+// without a store or while Recover is re-applying history. A non-nil
+// error means the mutation must not be applied (or must
 // be rolled back), because acknowledged state has to survive kill -9.
+//
+// dynplace:holds d.mu
 func (d *Daemon) journalLocked(rec store.Record) error {
 	if d.store == nil || d.replaying {
 		return nil
 	}
 	if _, err := d.store.Append(rec); err != nil {
 		d.walErrors++
-		return fmt.Errorf("%w: journal: %v", ErrStore, err)
+		return fmt.Errorf("%w: journal: %w", ErrStore, err)
 	}
 	return nil
 }
@@ -70,6 +74,8 @@ func (d *Daemon) journalLocked(rec store.Record) error {
 // placement snapshot verbatim. Cycle records are best-effort — the
 // control loop must keep running even with a failing state dir — so
 // errors are counted and logged rather than propagated.
+//
+// dynplace:holds d.mu
 func (d *Daemon) journalCycleLocked(cycle int64, now float64, live []*scheduler.Job, retired []dynplace.JobResult, cycleErr error) {
 	if d.store == nil || d.replaying {
 		return
@@ -110,6 +116,9 @@ func (d *Daemon) journalCycleLocked(cycle int64, now float64, live []*scheduler.
 	}
 }
 
+// actionTotalsLocked copies the lifetime action counters into a map.
+//
+// dynplace:holds d.mu
 func (d *Daemon) actionTotalsLocked() map[string]int {
 	totals := make(map[string]int)
 	for _, name := range d.actions.Names() {
@@ -119,6 +128,8 @@ func (d *Daemon) actionTotalsLocked() map[string]int {
 }
 
 // snapshotStateLocked assembles the full durable state at this instant.
+//
+// dynplace:holds d.mu
 func (d *Daemon) snapshotStateLocked() (*store.State, error) {
 	st := &store.State{
 		Time:             d.clock().Now(),
@@ -156,7 +167,9 @@ func (d *Daemon) snapshotStateLocked() (*store.State, error) {
 }
 
 // writeSnapshotLocked folds the current state into a snapshot and
-// rotates the WAL. Callers hold d.mu.
+// rotates the WAL.
+//
+// dynplace:holds d.mu
 func (d *Daemon) writeSnapshotLocked() error {
 	if d.store == nil {
 		return fmt.Errorf("%w: no state store configured", ErrDaemon)
@@ -169,7 +182,7 @@ func (d *Daemon) writeSnapshotLocked() error {
 		// Wrap as a durability outage (503), matching journalLocked: a
 		// poisoned or failing state dir is the server's fault, and
 		// monitoring keys on 503 for it.
-		return fmt.Errorf("%w: snapshot: %v", ErrStore, err)
+		return fmt.Errorf("%w: snapshot: %w", ErrStore, err)
 	}
 	d.cfg.Logf("snapshot written: seq %d, %d bytes, t=%.1f",
 		d.store.Info().SnapshotSeq, d.store.Info().SnapshotBytes, st.Time)
@@ -243,6 +256,7 @@ func (d *Daemon) Recover() error {
 	}
 	d.recovering.Store(true)
 	defer d.recovering.Store(false)
+	//dynplace:ignore clockhygiene replay-duration telemetry; virtual time resumes via the offset clock, this only feeds GET /state
 	begin := time.Now()
 
 	d.mu.Lock()
@@ -256,13 +270,13 @@ func (d *Daemon) Recover() error {
 	lastTime := 0.0
 	if st != nil {
 		if err := d.restoreSnapshotLocked(st); err != nil {
-			return fmt.Errorf("%w: snapshot: %v", ErrDaemon, err)
+			return fmt.Errorf("%w: snapshot: %w", ErrDaemon, err)
 		}
 		lastTime = st.Time
 	}
 	for _, rec := range recs {
 		if err := d.applyRecordLocked(rec); err != nil {
-			return fmt.Errorf("%w: replay seq %d (%s): %v", ErrDaemon, rec.Seq, rec.Op, err)
+			return fmt.Errorf("%w: replay seq %d (%s): %w", ErrDaemon, rec.Seq, rec.Op, err)
 		}
 		if rec.Time > lastTime {
 			lastTime = rec.Time
@@ -308,7 +322,7 @@ func (d *Daemon) Recover() error {
 	d.restarts.Store(int64(prior) + 1)
 	d.baseCycles = d.cycles.Load()
 	d.replayedRecords = len(recs)
-	d.replayDuration = time.Since(begin)
+	d.replayDuration = time.Since(begin) //dynplace:ignore clockhygiene replay-duration telemetry; never feeds placement
 	d.cfg.Logf("recovered %d apps, %d jobs, inventory v%d at t=%.1f: snapshot+%d records in %v (restart #%d), %d jobs rescued",
 		len(d.planner.WebApps()), len(d.jobs), d.planner.Inventory().Version(),
 		lastTime, len(recs), d.replayDuration.Round(time.Millisecond), d.restarts.Load(), rescued)
@@ -329,6 +343,8 @@ func (d *Daemon) Recover() error {
 // planner around the imported inventory, apps with carried placements,
 // jobs with runtime state, results, counters, and the published
 // placement.
+//
+// dynplace:holds d.mu
 func (d *Daemon) restoreSnapshotLocked(st *store.State) error {
 	inv, err := cluster.ImportInventory(st.Inventory)
 	if err != nil {
@@ -380,6 +396,8 @@ func (d *Daemon) restoreSnapshotLocked(st *store.State) error {
 
 // restorePlacementLocked republishes a journaled placement snapshot and
 // the health state derived from it.
+//
+// dynplace:holds d.mu
 func (d *Daemon) restorePlacementLocked(raw json.RawMessage) error {
 	if len(raw) == 0 {
 		return nil
@@ -395,6 +413,8 @@ func (d *Daemon) restorePlacementLocked(raw json.RawMessage) error {
 
 // applyRecordLocked re-applies one WAL record. The record's journaled
 // time stands in for the clock, which has not been realigned yet.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyRecordLocked(rec store.Record) error {
 	switch rec.Op {
 	case store.OpAddApp:
@@ -477,6 +497,8 @@ func (d *Daemon) applyRecordLocked(rec store.Record) error {
 // across restarts even when live mutation burned increments no record
 // captured (an add rolled back on journal failure). Records from before
 // the field existed carry 0 and are skipped.
+//
+// dynplace:holds d.mu
 func (d *Daemon) restoreInventoryVersion(rec store.Record) {
 	if rec.InventoryVersion > 0 {
 		d.planner.Inventory().RestoreVersion(rec.InventoryVersion)
@@ -486,6 +508,8 @@ func (d *Daemon) restoreInventoryVersion(rec store.Record) {
 // applyCycleLocked re-applies one journaled control cycle: job runtime
 // states, retirements, rates, carried placements, counters, and the
 // published placement snapshot.
+//
+// dynplace:holds d.mu
 func (d *Daemon) applyCycleLocked(cr *store.CycleRecord) error {
 	byName := make(map[string]int, len(d.jobs))
 	for i, j := range d.jobs {
@@ -541,6 +565,9 @@ func (d *Daemon) Durability() DurabilityView {
 	return d.durabilityLocked()
 }
 
+// durabilityLocked assembles the durability view from WAL state.
+//
+// dynplace:holds d.mu
 func (d *Daemon) durabilityLocked() DurabilityView {
 	v := DurabilityView{
 		Enabled:    d.store != nil,

@@ -9,6 +9,9 @@
 // retain bounded per-cycle history and completed-job results for its
 // /metrics endpoint. Nothing here is safe for concurrent use on its
 // own; callers (the control loop, the daemon's mutex) serialize access.
+// The daemon declares that contract on its fields of these types with
+// // dynplace:guardedby mu annotations, which the lockguard analyzer in
+// internal/analysis enforces.
 package metrics
 
 import (
@@ -263,8 +266,10 @@ func JainIndex(values []float64) float64 {
 // Counter accumulates named integer counts deterministically. It is
 // not safe for concurrent use; the caller serializes writers against
 // readers (the daemon increments and reads only under its control-loop
-// mutex, including the /metrics/prom collect callbacks). Hot paths that
-// cannot afford a lock want obs.Counter instead.
+// mutex, including the /metrics/prom collect callbacks — its fields of
+// this type carry // dynplace:guardedby mu annotations checked by the
+// lockguard analyzer). Hot paths that cannot afford a lock want
+// obs.Counter instead.
 type Counter struct {
 	counts map[string]int
 }

@@ -21,6 +21,8 @@ import (
 // observation v lands in the first bucket whose bound is ≥ v, with an
 // implicit +Inf bucket at the end. Bounds are fixed at construction.
 // A nil Histogram ignores all observations.
+//
+// dynplace:nilsafe
 type Histogram struct {
 	bounds []float64
 	// cells holds every stripe back to back: stride atomics per

@@ -29,6 +29,8 @@ import (
 
 // Counter is a monotonically increasing cumulative count. The zero
 // value is ready to use; a nil Counter ignores all writes.
+//
+// dynplace:nilsafe
 type Counter struct {
 	v atomic.Uint64
 }
@@ -60,6 +62,8 @@ func (c *Counter) Value() uint64 {
 
 // Gauge is a float64 value that may go up and down. The zero value is
 // ready to use; a nil Gauge ignores all writes.
+//
+// dynplace:nilsafe
 type Gauge struct {
 	bits atomic.Uint64
 }

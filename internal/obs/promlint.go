@@ -232,7 +232,7 @@ func parseSampleLine(line string, lineNo int) (ParsedSample, error) {
 	}
 	v, err := parseValue(rest)
 	if err != nil {
-		return s, fmt.Errorf("line %d: bad value %q: %v", lineNo, rest, err)
+		return s, fmt.Errorf("line %d: bad value %q: %w", lineNo, rest, err)
 	}
 	s.Value = v
 	return s, nil

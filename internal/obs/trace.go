@@ -33,6 +33,8 @@ type TraceView struct {
 // single-writer by design — the control loop already serializes a
 // cycle end to end — and every method is nil-safe so tracing can be
 // threaded through call paths that may run untraced.
+//
+// dynplace:nilsafe
 type CycleTrace struct {
 	cycle int64
 	vtime float64
@@ -83,7 +85,10 @@ func (ct *CycleTrace) Elapsed() time.Duration {
 
 // Tracer retains the span timelines of the most recent control cycles
 // in a bounded ring. Begin/Finish are called by the control loop;
-// Cycle and Recent serve concurrent HTTP readers.
+// Cycle and Recent serve concurrent HTTP readers. A nil Tracer
+// returns nil traces, which every CycleTrace method accepts.
+//
+// dynplace:nilsafe
 type Tracer struct {
 	mu    sync.Mutex
 	buf   []TraceView

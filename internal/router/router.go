@@ -391,6 +391,7 @@ func (r *Router) Dispatch(app string, pick float64) (node string, err error) {
 	}
 	var begin time.Time
 	if ins.Latency != nil {
+		//dynplace:ignore clockhygiene dispatch latency histogram; measurement only, routing outcome is unaffected
 		begin = time.Now()
 	}
 	node, err = r.dispatch(app, pick, false)
@@ -414,6 +415,7 @@ func (r *Router) DispatchBalanced(app string) (node string, err error) {
 	}
 	var begin time.Time
 	if ins.Latency != nil {
+		//dynplace:ignore clockhygiene dispatch latency histogram; measurement only, routing outcome is unaffected
 		begin = time.Now()
 	}
 	node, err = r.dispatch(app, rand.Float64(), true)

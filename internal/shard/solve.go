@@ -39,6 +39,7 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	//dynplace:ignore clockhygiene span timings for the cycle tracer; solver output is independent of them
 	begin := time.Now()
 	timings := Timings{}
 	lay := newLayout(p.Cluster.Len(), c.cfg.Count)
@@ -51,7 +52,7 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 	}
 	st := c.rebalance(p, lay)
 	subs := buildSubproblems(p, lay, st)
-	timings.Rebalance = time.Since(begin)
+	timings.Rebalance = time.Since(begin) //dynplace:ignore clockhygiene span timing; telemetry only
 	timings.ZoneStart = make([]time.Duration, lay.count)
 
 	stats := make([]Stats, lay.count)
@@ -73,6 +74,7 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 			defer func() { <-sem }()
 			sub := subs[s]
 			sub.p.Parallelism = inner
+			//dynplace:ignore clockhygiene per-zone solve timing for shard stats; telemetry only
 			solveBegin := time.Now()
 			timings.ZoneStart[s] = solveBegin.Sub(begin)
 			res, cold, err := solveZone(sub.p)
@@ -81,7 +83,7 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 				Nodes:       sub.p.Cluster.Len(),
 				CPUMHz:      sub.p.Cluster.TotalCPU(),
 				MemMB:       sub.p.Cluster.TotalMem(),
-				SolveMillis: float64(time.Since(solveBegin)) / float64(time.Millisecond),
+				SolveMillis: float64(time.Since(solveBegin)) / float64(time.Millisecond), //dynplace:ignore clockhygiene telemetry only
 				ColdRestart: cold,
 			}
 			results[s], errs[s] = res, err
@@ -94,10 +96,11 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 		}
 	}
 
+	//dynplace:ignore clockhygiene merge span timing; telemetry only
 	mergeBegin := time.Now()
 	merged := c.merge(p, lay, st, subs, results, stats)
 	c.persist(p, st)
-	timings.Merge = time.Since(mergeBegin)
+	timings.Merge = time.Since(mergeBegin) //dynplace:ignore clockhygiene telemetry only
 	c.prev = stats
 	c.lastTimings = timings
 	return merged, stats, nil

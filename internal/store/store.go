@@ -196,7 +196,7 @@ func (s *Store) loadSnapshot() error {
 	}
 	var st State
 	if err := json.Unmarshal(payload, &st); err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrCorrupt, snapName, err)
+		return fmt.Errorf("%w: %s: %w", ErrCorrupt, snapName, err)
 	}
 	if st.V > SchemaVersion {
 		return fmt.Errorf("%w: snapshot v%d, this binary understands v%d", ErrVersion, st.V, SchemaVersion)
@@ -254,7 +254,7 @@ func (s *Store) loadWAL() error {
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("%w: %s: record at offset %d: %v", ErrCorrupt, walName, off, err)
+			return fmt.Errorf("%w: %s: record at offset %d: %w", ErrCorrupt, walName, off, err)
 		}
 		if rec.V > SchemaVersion {
 			return fmt.Errorf("%w: record seq %d is v%d, this binary understands v%d",
@@ -404,6 +404,7 @@ func (s *Store) Append(rec Record) (uint64, error) {
 	if err := s.usable(); err != nil {
 		return 0, err
 	}
+	//dynplace:ignore clockhygiene WAL append latency histogram; durability and contents are unaffected
 	begin := time.Now()
 	defer s.appendHist.ObserveSince(begin)
 	rec.V = SchemaVersion
@@ -418,10 +419,11 @@ func (s *Store) Append(rec Record) (uint64, error) {
 	frame := appendFrame(nil, payload)
 	if _, err := s.wal.Write(frame); err != nil {
 		if terr := s.wal.Truncate(s.walBytes); terr != nil {
-			s.poison(fmt.Errorf("append failed (%v), truncate to offset %d failed (%v)", err, s.walBytes, terr))
+			s.poison(fmt.Errorf("append failed (%w), truncate to offset %d failed (%w)", err, s.walBytes, terr))
 		}
 		return 0, fmt.Errorf("store: append: %w", err)
 	}
+	//dynplace:ignore clockhygiene fsync latency histogram; telemetry only
 	fsyncBegin := time.Now()
 	err = s.wal.Sync()
 	s.fsyncHist.ObserveSince(fsyncBegin)
@@ -432,7 +434,7 @@ func (s *Store) Append(rec Record) (uint64, error) {
 		// poison stands regardless: after a failed fsync the kernel may
 		// have dropped dirty pages anywhere in the file.
 		_ = s.wal.Truncate(s.walBytes)
-		s.poison(fmt.Errorf("fsync failed at seq %d: %v", rec.Seq, err))
+		s.poison(fmt.Errorf("fsync failed at seq %d: %w", rec.Seq, err))
 		return 0, fmt.Errorf("store: fsync: %w", err)
 	}
 	s.seq = rec.Seq
@@ -450,6 +452,7 @@ func (s *Store) WriteSnapshot(st *State) error {
 	if err := s.usable(); err != nil {
 		return err
 	}
+	//dynplace:ignore clockhygiene snapshot-write latency histogram; telemetry only
 	begin := time.Now()
 	defer s.snapHist.ObserveSince(begin)
 	st.V = SchemaVersion
@@ -533,7 +536,7 @@ func (s *Store) rotateWAL() error {
 			// The rename may have landed (or the directory fsync after it
 			// failed), leaving s.wal on an unlinked inode; poison rather
 			// than risk acknowledging mutations into it.
-			s.poison(fmt.Errorf("rotating WAL: %v", err))
+			s.poison(fmt.Errorf("rotating WAL: %w", err))
 		}
 		// A pre-rename failure (e.g. ENOSPC writing the temp file) leaves
 		// the old WAL intact and appendable: report it without poisoning.
@@ -544,7 +547,7 @@ func (s *Store) rotateWAL() error {
 	if err != nil {
 		// poison closes old (still held in s.wal): subsequent Appends
 		// error instead of vanishing into the unlinked inode.
-		s.poison(fmt.Errorf("reopening rotated WAL: %v", err))
+		s.poison(fmt.Errorf("reopening rotated WAL: %w", err))
 		return fmt.Errorf("store: reopening rotated WAL: %w", err)
 	}
 	s.wal = f

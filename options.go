@@ -69,7 +69,7 @@ func WithClusterSpec(spec string) Option {
 	return func(s *settings) error {
 		nodes, err := cluster.ParseNodes(spec)
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadOption, err)
+			return fmt.Errorf("%w: %w", ErrBadOption, err)
 		}
 		s.nodes = append(s.nodes, nodes...)
 		return nil

@@ -81,7 +81,7 @@ func (j JobSpec) toInternal() (*batch.Spec, error) {
 		}}
 	}
 	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 	return spec, nil
 }
@@ -141,7 +141,7 @@ func (w WebAppSpec) toInternal() (*txn.App, error) {
 		GoalPercentile:   w.GoalPercentile,
 	}
 	if err := app.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 	return app, nil
 }
