@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint staticcheck docs build test shuffle bench recovery-smoke fuzz cover
+.PHONY: check fmt vet lint staticcheck docs build test shuffle bench recovery-smoke bundle-smoke fuzz cover
 
 check: fmt vet lint staticcheck docs build test
 
@@ -62,6 +62,12 @@ bench:
 # the restarted daemon serves the pre-kill placement.
 recovery-smoke:
 	./scripts/recovery_smoke.sh
+
+# The CI bundle-smoke job: start a real dynplaced, download
+# /v1/debug/bundle, and assert the archive unpacks with exposition,
+# explanations, and config intact.
+bundle-smoke:
+	./scripts/bundle_smoke.sh
 
 # The CI fuzz-smoke job: 20 s of coverage-guided fuzzing of the
 # replay-trace parser. Crashers become seed corpus entries under

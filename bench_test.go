@@ -617,11 +617,16 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Fatalf("instrumented cycle %.2f%% over bare — obs layer is not free at cycle granularity",
 			row.CycleOverheadPct)
 	}
+	if row.ExplainOverheadPct > 2.0 {
+		b.Fatalf("explain-on cycle %.2f%% over bare — the flight recorder is not free at cycle granularity",
+			row.ExplainOverheadPct)
+	}
 	if row.DispatchInstrumentedNs > row.DispatchBareNs+1000 {
 		b.Fatalf("instrumented dispatch %.0fns vs bare %.0fns — dispatch-path instruments too heavy",
 			row.DispatchInstrumentedNs, row.DispatchBareNs)
 	}
 	b.ReportMetric(row.CycleOverheadPct, "cycle-overhead-pct")
+	b.ReportMetric(row.ExplainOverheadPct, "explain-overhead-pct")
 	b.ReportMetric(row.DispatchBareNs, "dispatch-bare-ns")
 	b.ReportMetric(row.DispatchInstrumentedNs, "dispatch-instr-ns")
 }

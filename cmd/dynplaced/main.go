@@ -41,12 +41,22 @@
 //
 // Observability: GET /metrics/prom serves the Prometheus text
 // exposition (cycle/span/zone latency histograms, router and WAL
-// timings, lifetime counters), GET /debug/cycles/{n} the span timeline
-// of a recent control cycle. Logs are structured (log/slog); choose
+// timings, lifetime counters; gzip-encoded when the scraper sends
+// Accept-Encoding: gzip), GET /debug/cycles/{n} the span timeline
+// of a recent control cycle. Every cycle's decision provenance — who
+// was placed, moved, evicted or denied, and which constraint bound —
+// is kept in a bounded flight recorder: GET /v1/explain serves the
+// last cycle, GET /v1/explain/apps/{name} one application's history
+// (-explain-history sizes the window), and GET /v1/debug/bundle
+// streams a self-diagnosing tar.gz (explanations, cycle traces,
+// metrics, config, state, and the auto-captured CPU profile of the
+// most recent slow cycle). Logs are structured (log/slog); choose
 // the encoding with -log-format=text|json. Cycles slower than
-// -slow-cycle seconds log a warning. -pprof-addr serves
-// net/http/pprof on a separate, opt-in listener so profiling is never
-// exposed on the API address.
+// -slow-cycle seconds log a warning and arm the profile auto-capture;
+// a -slow-cycle at or past -cycle is rejected at startup. -pprof-addr
+// serves net/http/pprof on a separate, opt-in listener so profiling is
+// never exposed on the API address. -version prints the build version
+// and exits.
 //
 // Example:
 //
@@ -76,6 +86,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -107,11 +118,18 @@ func main() {
 		slowCycle = flag.Float64("slow-cycle", 0, "warn when a control cycle takes longer than this many seconds (0 = 80% of -cycle, negative disables)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 		traceN    = flag.Int("trace-cycles", 64, "cycle span timelines retained for /debug/cycles")
+		explainN  = flag.Int("explain-history", 128, "cycle decision explanations retained for /v1/explain")
+		version   = flag.Bool("version", false, "print the build version and exit")
 		fcOn      = flag.Bool("forecast", false, "plan each cycle against predicted next-cycle demand instead of the last observation")
 		fcSeason  = flag.Float64("forecast-season", 86400, "seasonal period of the demand estimator in seconds")
 		fcSlots   = flag.Int("forecast-slots", 48, "seasonal template buckets per season")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("dynplaced %s %s\n", daemon.BuildVersion(), runtime.Version())
+		return
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -180,10 +198,11 @@ func main() {
 		Warnf: func(format string, args ...any) {
 			logger.Warn(fmt.Sprintf(format, args...))
 		},
-		SlowCycleWarn: *slowCycle,
-		TraceCycles:   *traceN,
-		Store:         st,
-		SnapshotEvery: *snapEvery,
+		SlowCycleWarn:  *slowCycle,
+		TraceCycles:    *traceN,
+		ExplainHistory: *explainN,
+		Store:          st,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		fatal("bad configuration", err)

@@ -60,6 +60,13 @@ type DynamicConfig struct {
 	// ShardSeed drives the coordinator's deterministic first-touch
 	// spreading; rebalancing is reproducible for a fixed seed.
 	ShardSeed int64
+	// Explain, when set, makes every Plan carry a PlanExplanation — the
+	// per-application decision provenance (outcome, binding constraint,
+	// utility delta, reason chain) reconstructed from the adopted
+	// placement. Costs one O(apps × nodes) pass plus one candidate
+	// evaluation per denied application per cycle, never per candidate;
+	// off, the planner's hot path is untouched.
+	Explain bool
 	// Forecast, when non-nil, enables forecast-driven control: the
 	// planner learns each web application's demand online (level, trend
 	// and a seasonal template — see internal/forecast) and solves every

@@ -50,6 +50,12 @@ type Planner struct {
 	// placement exists (core.ErrInfeasible) — the signal that the
 	// cluster is overcommitted rather than the input malformed.
 	infeasibleCycles int
+
+	// prevUtil is the previous successful cycle's utility per
+	// application name — the baseline PlanExplanation utility deltas are
+	// computed against. Maintained only when DynamicConfig.Explain is
+	// set.
+	prevUtil map[string]float64
 }
 
 // NewPlanner prepares a planner for the given inventory, cost model and
@@ -369,6 +375,10 @@ type Plan struct {
 	// computed against, so consumers can tell a decision made before a
 	// topology change from one made after it.
 	InventoryVersion int64
+	// Explanation is the cycle's decision provenance, present when
+	// DynamicConfig.Explain is set: per-application outcome, binding
+	// constraint and reason chain (see PlanExplanation).
+	Explanation *PlanExplanation
 }
 
 // BatchUtilityMean returns the mean predicted relative performance over
@@ -598,6 +608,11 @@ func (p *Planner) PlanTraced(now, cycle float64, live []*scheduler.Job, ct *obs.
 	}
 	plan.OmegaG = res.Eval.OmegaG
 	plan.Changes = res.Changes
+	if p.dyn.Explain {
+		endExplain := ct.Span("explain")
+		plan.Explanation = p.explain(problem, res)
+		endExplain()
+	}
 	return plan, nil
 }
 

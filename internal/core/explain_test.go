@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynplace/internal/cluster"
+)
+
+// wantDecision asserts an AppDecision's outcome/binding pair and that
+// its reason chain closes with the canonical "binding constraint" line
+// when a constraint bound.
+func wantDecision(t *testing.T, d AppDecision, outcome, binding string) {
+	t.Helper()
+	if d.Outcome != outcome {
+		t.Fatalf("outcome = %q (reasons %v), want %q", d.Outcome, d.Reasons, outcome)
+	}
+	if d.Binding != binding {
+		t.Fatalf("binding = %q (reasons %v), want %q", d.Binding, d.Reasons, binding)
+	}
+	if binding == "" {
+		return
+	}
+	if len(d.Reasons) == 0 {
+		t.Fatalf("no reasons recorded for %s/%s", outcome, binding)
+	}
+	if last := d.Reasons[len(d.Reasons)-1]; last != "binding constraint: "+binding {
+		t.Fatalf("last reason = %q, want %q", last, "binding constraint: "+binding)
+	}
+}
+
+func TestExplainDeniedMemory(t *testing.T) {
+	cl, err := cluster.Uniform(2, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	hog := batchApp("hog", 4000, 1000, 8192, 0, 30)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{hog},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if res.Placement.Placed(0) {
+		t.Fatalf("an 8192 MB job fit a 4000 MB node: %v", res.Placement.NodesOf(0))
+	}
+	ex := Explain(p, res, nil)
+	d := ex.Decisions[0]
+	wantDecision(t, d, OutcomeDenied, BindMemory)
+	if !strings.Contains(d.Reasons[0], "8192 MB") || !strings.Contains(d.Reasons[0], "short by") {
+		t.Errorf("memory diagnosis lacks size and shortfall: %q", d.Reasons[0])
+	}
+}
+
+func TestExplainDeniedAntiCollocation(t *testing.T) {
+	// One node, a conflicting pair: whichever application loses must be
+	// diagnosed as blocked by the resident conflictor, not by capacity.
+	cl, err := cluster.Uniform(1, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	a.AntiCollocate = []string{"b"}
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	ex := Explain(p, res, nil)
+	denied, placed := -1, -1
+	for i, d := range ex.Decisions {
+		switch d.Outcome {
+		case OutcomeDenied:
+			denied = i
+		case OutcomePlaced:
+			placed = i
+		}
+	}
+	if denied < 0 || placed < 0 {
+		t.Fatalf("want one placed and one denied, got %+v", ex.Decisions)
+	}
+	d := ex.Decisions[denied]
+	wantDecision(t, d, OutcomeDenied, BindAntiCollocation)
+	winner := p.Apps[placed].Name
+	if !strings.Contains(d.Reasons[0], `"`+winner+`"`) {
+		t.Errorf("diagnosis should name the conflictor %q: %q", winner, d.Reasons[0])
+	}
+}
+
+func TestExplainPlacedThenKept(t *testing.T) {
+	cl, err := cluster.Uniform(2, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	ex := Explain(p, res, nil)
+	wantDecision(t, ex.Decisions[0], OutcomePlaced, "")
+	if len(ex.Decisions[0].Reasons) == 0 ||
+		!strings.HasPrefix(ex.Decisions[0].Reasons[0], "placed on ") {
+		t.Errorf("placed reason = %v, want a node list", ex.Decisions[0].Reasons)
+	}
+
+	p.Current = res.Placement
+	res2 := mustOptimize(t, p)
+	ex2 := Explain(p, res2, []float64{ex.Decisions[0].Utility})
+	wantDecision(t, ex2.Decisions[0], OutcomeKept, "")
+	if delta := ex2.Decisions[0].UtilityDelta; math.Abs(delta) > 0.5 {
+		t.Errorf("steady-state utility delta = %v, want near zero", delta)
+	}
+}
+
+func TestExplainIdle(t *testing.T) {
+	cl, err := cluster.Uniform(1, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	done := batchApp("done", 4000, 1000, 750, 0, 30)
+	done.Done = 4000 // the job has completed all its work
+	quiet := webApp("quiet")
+	quiet.Web.ArrivalRate = 0
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{done, quiet},
+		Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	ex := Explain(p, res, nil)
+	for i := range ex.Decisions {
+		wantDecision(t, ex.Decisions[i], OutcomeIdle, "")
+	}
+}
+
+func TestExplainMovedByAntiCollocation(t *testing.T) {
+	// The carried placement violates the collocation rule (both jobs on
+	// node-0); repair evicts a and the optimizer re-places it on node-1.
+	// The diagnosis must blame the conflictor left behind, not capacity.
+	cl, err := cluster.Uniform(2, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	a := batchApp("a", 4000, 1000, 750, 0, 30)
+	b := batchApp("b", 4000, 1000, 750, 0, 30)
+	a.AntiCollocate = []string{"b"}
+	cur := NewPlacement(2)
+	cur.Add(0, 0)
+	cur.Add(1, 0)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{a, b},
+		Current: cur, Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if !res.Repaired {
+		t.Fatal("violating placement not repaired")
+	}
+	if !res.Placement.Placed(0) || !res.Placement.Placed(1) {
+		t.Fatalf("both jobs fit on separate nodes: a=%v b=%v",
+			res.Placement.NodesOf(0), res.Placement.NodesOf(1))
+	}
+	ex := Explain(p, res, nil)
+	moved := -1
+	for i, d := range ex.Decisions {
+		if d.Outcome == OutcomeMoved {
+			moved = i
+		}
+	}
+	if moved < 0 {
+		t.Fatalf("no moved decision after repair: %+v", ex.Decisions)
+	}
+	d := ex.Decisions[moved]
+	wantDecision(t, d, OutcomeMoved, BindAntiCollocation)
+	stayed := p.Apps[1-moved].Name
+	found := false
+	for _, r := range d.Reasons {
+		if strings.Contains(r, `"`+stayed+`"`) && strings.Contains(r, "collocate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("move diagnosis should name the conflictor %q: %v", stayed, d.Reasons)
+	}
+}
+
+func TestExplainEvictedByRepair(t *testing.T) {
+	// The input placement is physically impossible (8192 MB instance on
+	// a 4000 MB node); repair evicts it and the explanation says why.
+	cl, err := cluster.Uniform(1, 2000, 4000)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	hog := batchApp("hog", 4000, 1000, 8192, 0, 30)
+	cur := NewPlacement(1)
+	cur.Add(0, 0)
+	p := &Problem{Cluster: cl, Cycle: 1, Apps: []*Application{hog},
+		Current: cur, Costs: cluster.FreeCostModel()}
+	res := mustOptimize(t, p)
+	if res.Placement.Placed(0) {
+		t.Fatal("impossible instance survived repair")
+	}
+	ex := Explain(p, res, nil)
+	if !ex.Repaired {
+		t.Error("Explanation.Repaired = false after a repairing solve")
+	}
+	wantDecision(t, ex.Decisions[0], OutcomeEvicted, BindMemory)
+}
+
+func TestOutcomeAndBindingSetsAreClosed(t *testing.T) {
+	// The exported slices drive metric pre-registration; they must cover
+	// every constant exactly once.
+	seen := map[string]bool{}
+	for _, o := range Outcomes {
+		if seen[o] {
+			t.Errorf("duplicate outcome %q", o)
+		}
+		seen[o] = true
+	}
+	for _, want := range []string{OutcomePlaced, OutcomeKept, OutcomeMoved,
+		OutcomeExpanded, OutcomeShrunk, OutcomeEvicted, OutcomeDenied, OutcomeIdle} {
+		if !seen[want] {
+			t.Errorf("Outcomes missing %q", want)
+		}
+	}
+	seen = map[string]bool{}
+	for _, b := range Bindings {
+		if seen[b] {
+			t.Errorf("duplicate binding %q", b)
+		}
+		seen[b] = true
+	}
+	for _, want := range []string{BindMemory, BindAntiCollocation,
+		BindCPUCapacity, BindFlowCapacity, BindPins, BindUtility} {
+		if !seen[want] {
+			t.Errorf("Bindings missing %q", want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package daemon
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,9 +44,13 @@ import (
 //	DELETE /v1/nodes/{name}       remove an empty (drained/failed) node
 //	GET    /v1/state              durability status (WAL, snapshots, replay)
 //	POST   /v1/state/snapshot     write a compacting snapshot now
-//	GET    /v1/metrics/prom       Prometheus text exposition (version 0.0.4)
+//	GET    /v1/metrics/prom       Prometheus text exposition (version 0.0.4;
+//	                              gzip-encoded when Accept-Encoding allows)
+//	GET    /v1/explain            the last cycle's decision provenance
+//	GET    /v1/explain/apps/{name}  one application's decision history
 //	GET    /v1/debug/cycles       span timelines of the retained recent cycles
 //	GET    /v1/debug/cycles/{n}   span timeline of cycle n
+//	GET    /v1/debug/bundle       self-diagnosing debug bundle (tar.gz)
 //
 // Bodies and responses are JSON; workload specs use the library's public
 // spec types (dynplace.WebAppSpec, dynplace.JobSpec). Errors use a
@@ -86,8 +92,11 @@ func (d *Daemon) Handler() http.Handler {
 	route("GET /placement", d.handlePlacement)
 	route("GET /metrics", d.handleMetrics)
 	route("GET /metrics/prom", d.handleMetricsProm)
+	route("GET /explain", d.handleExplain)
+	route("GET /explain/apps/{name}", d.handleExplainApp)
 	route("GET /debug/cycles", d.handleCycles)
 	route("GET /debug/cycles/{n}", d.handleCycle)
+	route("GET /debug/bundle", d.handleBundle)
 	route("GET /apps", d.handleListApps)
 	route("POST /apps", d.handleAddApp)
 	route("DELETE /apps/{name}", d.handleRemoveApp)
@@ -302,9 +311,71 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, d.Metrics())
 }
 
-func (d *Daemon) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+func (d *Daemon) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.ContentType)
-	_ = d.obs.reg.WritePrometheus(w)
+	out := io.Writer(w)
+	if acceptsGzip(r) {
+		// The exposition compresses ~10x; scrapers that send
+		// Accept-Encoding: gzip (Prometheus does by default) get it.
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer func() { _ = gz.Close() }()
+		out = gz
+	}
+	_ = d.obs.reg.WritePrometheus(out)
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding header
+// admits gzip: the token present with no qvalue, or with q > 0.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (d *Daemon) handleExplain(w http.ResponseWriter, _ *http.Request) {
+	rec, ok := d.LastExplanation()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: no cycle explanation recorded yet", ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (d *Daemon) handleExplainApp(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	history, err := d.AppExplainHistory(name)
+	if err != nil {
+		d.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"app": name, "history": history})
+}
+
+func (d *Daemon) handleBundle(w http.ResponseWriter, _ *http.Request) {
+	// Assemble fully before writing: an error after the first body byte
+	// could not carry the JSON error envelope anymore.
+	var buf bytes.Buffer
+	if err := d.WriteBundle(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q",
+			fmt.Sprintf("dynplace-bundle-cycle%d.tar.gz", d.cycles.Load())))
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (d *Daemon) handleCycles(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,140 @@
+package daemon
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"dynplace/internal/obs"
+)
+
+// BundleConfigView is the config.json member of the debug bundle: the
+// effective (post-default) configuration the incident happened under,
+// plus build identity — the answers to "what was it actually running?".
+type BundleConfigView struct {
+	Version          string  `json:"version"`
+	GoVersion        string  `json:"goVersion"`
+	CycleSeconds     float64 `json:"cycleSeconds"`
+	SlowCycleSeconds float64 `json:"slowCycleSeconds"`
+	QueueCap         int     `json:"queueCap"`
+	History          int     `json:"history"`
+	RetainJobs       int     `json:"retainJobs"`
+	TraceCycles      int     `json:"traceCycles"`
+	ExplainHistory   int     `json:"explainHistory"`
+	SnapshotEvery    int     `json:"snapshotEvery"`
+	Shards           int     `json:"shards"`
+	Forecast         bool    `json:"forecast"`
+	Durable          bool    `json:"durable"`
+}
+
+// bundleEntry is one member of the debug-bundle archive.
+type bundleEntry struct {
+	name string
+	data []byte
+}
+
+// WriteBundle streams the self-diagnosing debug bundle as a tar.gz
+// archive: the explanation flight recorder, the retained cycle traces,
+// a full Prometheus exposition, the effective configuration, durability
+// and health state, the last placement, and — when a slow cycle has
+// been auto-profiled — the CPU profile with its metadata. One GET
+// replaces the "curl six endpoints and remember the profiler" incident
+// checklist (see docs/OPERATIONS.md, "Reading a debug bundle").
+func (d *Daemon) WriteBundle(w io.Writer) error {
+	entries, err := d.bundleEntries()
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	for _, e := range entries {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: e.name,
+			Mode: 0o644,
+			Size: int64(len(e.data)),
+		}); err != nil {
+			return err
+		}
+		if _, err := tw.Write(e.data); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// bundleEntries assembles the archive members. Each accessor takes and
+// releases its own locks; in particular WritePrometheus must run with
+// d.mu free, since collect-time callbacks acquire it.
+func (d *Daemon) bundleEntries() ([]bundleEntry, error) {
+	var entries []bundleEntry
+	addJSON := func(name string, v any) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("bundle %s: %w", name, err)
+		}
+		entries = append(entries, bundleEntry{name: name, data: append(data, '\n')})
+		return nil
+	}
+
+	if err := addJSON("explanations.json", map[string]any{"explanations": d.ExplainRecords()}); err != nil {
+		return nil, err
+	}
+	traces := d.obs.tracer.Recent()
+	if traces == nil {
+		traces = []obs.TraceView{}
+	}
+	if err := addJSON("cycles.json", map[string]any{"cycles": traces}); err != nil {
+		return nil, err
+	}
+	var prom bytes.Buffer
+	if err := d.obs.reg.WritePrometheus(&prom); err != nil {
+		return nil, fmt.Errorf("bundle metrics.prom: %w", err)
+	}
+	entries = append(entries, bundleEntry{name: "metrics.prom", data: prom.Bytes()})
+	if err := addJSON("config.json", d.bundleConfig()); err != nil {
+		return nil, err
+	}
+	if err := addJSON("state.json", d.Durability()); err != nil {
+		return nil, err
+	}
+	if err := addJSON("health.json", d.Health()); err != nil {
+		return nil, err
+	}
+	if err := addJSON("placement.json", d.Placement()); err != nil {
+		return nil, err
+	}
+	if prof := d.slowProfile(); prof != nil {
+		if err := addJSON("slow_cycle.json", prof); err != nil {
+			return nil, err
+		}
+		entries = append(entries, bundleEntry{name: "slow_cycle.pprof", data: prof.Data})
+	}
+	return entries, nil
+}
+
+// bundleConfig snapshots the effective configuration (cfg is immutable
+// after New, so no lock is needed).
+func (d *Daemon) bundleConfig() BundleConfigView {
+	return BundleConfigView{
+		Version:          BuildVersion(),
+		GoVersion:        runtime.Version(),
+		CycleSeconds:     d.cfg.CycleSeconds,
+		SlowCycleSeconds: d.cfg.SlowCycleWarn,
+		QueueCap:         d.cfg.QueueCap,
+		History:          d.cfg.History,
+		RetainJobs:       d.cfg.RetainJobs,
+		TraceCycles:      d.cfg.TraceCycles,
+		ExplainHistory:   d.cfg.ExplainHistory,
+		SnapshotEvery:    d.cfg.SnapshotEvery,
+		Shards:           d.cfg.Dynamic.Shards,
+		Forecast:         d.cfg.Dynamic.Forecast != nil,
+		Durable:          d.store != nil,
+	}
+}

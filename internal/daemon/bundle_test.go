@@ -1,0 +1,283 @@
+package daemon
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynplace/internal/cluster"
+	"dynplace/internal/obs"
+)
+
+// fetchBundle downloads /v1/debug/bundle and returns its members keyed
+// by archive name.
+func fetchBundle(t *testing.T, url string) map[string][]byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /v1/debug/bundle: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("Content-Type = %q, want application/gzip", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, ".tar.gz") {
+		t.Fatalf("Content-Disposition = %q, want a .tar.gz attachment", cd)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	members := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar: %v", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("bundle member %s: %v", hdr.Name, err)
+		}
+		members[hdr.Name] = data
+	}
+	return members
+}
+
+// TestDebugBundle: after a few cycles the bundle must unpack into every
+// advertised member, with a parseable exposition, non-empty
+// explanations, and a config that identifies the build.
+func TestDebugBundle(t *testing.T) {
+	d, clock, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	loadWorkload(t, d)
+	clock.Advance(120)
+
+	members := fetchBundle(t, srv.URL)
+	for _, name := range []string{"explanations.json", "cycles.json",
+		"metrics.prom", "config.json", "state.json", "health.json",
+		"placement.json"} {
+		if _, ok := members[name]; !ok {
+			t.Errorf("bundle missing member %s (have %v)", name, memberNames(members))
+		}
+	}
+
+	if _, err := obs.ParseExposition(string(members["metrics.prom"])); err != nil {
+		t.Errorf("bundle metrics.prom does not parse: %v", err)
+	}
+
+	var ex struct {
+		Explanations []ExplainRecord `json:"explanations"`
+	}
+	if err := json.Unmarshal(members["explanations.json"], &ex); err != nil {
+		t.Fatalf("explanations.json: %v", err)
+	}
+	if len(ex.Explanations) == 0 {
+		t.Error("explanations.json is empty after cycles ran")
+	}
+
+	var cfg BundleConfigView
+	if err := json.Unmarshal(members["config.json"], &cfg); err != nil {
+		t.Fatalf("config.json: %v", err)
+	}
+	if cfg.Version == "" || cfg.GoVersion == "" {
+		t.Errorf("config.json lacks build identity: %+v", cfg)
+	}
+	if cfg.CycleSeconds != 60 || cfg.ExplainHistory != 128 {
+		t.Errorf("config.json effective settings wrong: %+v", cfg)
+	}
+}
+
+func memberNames(m map[string][]byte) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// TestSlowCycleProfileCapture: with a threshold every real cycle
+// exceeds, the slow-cycle path must arm, capture a CPU profile of the
+// following cycle, count the capture, and ship the profile in the
+// bundle.
+func TestSlowCycleProfileCapture(t *testing.T) {
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewSimClock()
+	d, err := New(Config{
+		Cluster:       cl,
+		CycleSeconds:  60,
+		Costs:         cluster.FreeCostModel(),
+		Clock:         clock,
+		History:       64,
+		SlowCycleWarn: 1e-9, // every cycle is "slow"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(d.Stop)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	loadWorkload(t, d)
+	clock.Advance(180) // slow cycle arms; the next one is profiled
+
+	exp := scrapeProm(t, srv.URL)
+	if v := mustValue(t, exp, "dynplace_slow_cycle_captures_total"); v < 1 {
+		t.Fatalf("dynplace_slow_cycle_captures_total = %v, want >= 1", v)
+	}
+
+	members := fetchBundle(t, srv.URL)
+	prof, ok := members["slow_cycle.pprof"]
+	if !ok {
+		t.Fatalf("bundle lacks slow_cycle.pprof (have %v)", memberNames(members))
+	}
+	if len(prof) == 0 {
+		t.Fatal("slow_cycle.pprof is empty")
+	}
+	var meta capturedProfile
+	if err := json.Unmarshal(members["slow_cycle.json"], &meta); err != nil {
+		t.Fatalf("slow_cycle.json: %v", err)
+	}
+	if meta.Cycle <= 0 || meta.Bytes != len(prof) {
+		t.Errorf("profile metadata inconsistent: %+v vs %d profile bytes", meta, len(prof))
+	}
+}
+
+// TestSlowCycleThresholdValidation: a threshold at or above the cycle
+// length can never fire and is rejected up front.
+func TestSlowCycleThresholdValidation(t *testing.T) {
+	cl, err := cluster.Uniform(2, 3000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Cluster:       cl,
+		CycleSeconds:  60,
+		Costs:         cluster.FreeCostModel(),
+		Clock:         NewSimClock(),
+		SlowCycleWarn: 60,
+	})
+	if err == nil {
+		t.Fatal("New accepted a slow-cycle threshold equal to the cycle length")
+	}
+	if !errors.Is(err, ErrDaemon) {
+		t.Fatalf("error = %v, want ErrDaemon", err)
+	}
+	if !strings.Contains(err.Error(), "slow-cycle threshold") {
+		t.Fatalf("error %q does not explain the threshold rule", err)
+	}
+}
+
+// TestMetricsPromGzip: the exposition honors Accept-Encoding (including
+// the q=0 opt-out) and the compressed body parses after decompression.
+func TestMetricsPromGzip(t *testing.T) {
+	d, clock, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60)
+
+	// Setting Accept-Encoding by hand disables the Go transport's
+	// transparent decompression, so the raw gzip body comes through.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/metrics/prom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("body is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(string(raw))
+	if err != nil {
+		t.Fatalf("decompressed exposition does not parse: %v", err)
+	}
+	if _, ok := exp.Value("dynplace_cycles_total"); !ok {
+		t.Error("decompressed exposition lacks dynplace_cycles_total")
+	}
+
+	// q=0 refuses gzip even though the token is present.
+	req, err = http.NewRequest(http.MethodGet, srv.URL+"/v1/metrics/prom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip;q=0")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ce := resp2.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("Content-Encoding = %q with gzip;q=0, want identity", ce)
+	}
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ParseExposition(string(body)); err != nil {
+		t.Fatalf("identity exposition does not parse: %v", err)
+	}
+}
+
+// TestDebugCycleNotFoundEnvelope: an out-of-range cycle number returns
+// the uniform error envelope with code not_found, so scripted triage
+// can branch on it.
+func TestDebugCycleNotFoundEnvelope(t *testing.T) {
+	d, clock, srv := newTestDaemon(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(60)
+
+	status, body := do(t, http.MethodGet, srv.URL+"/v1/debug/cycles/999999", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /v1/debug/cycles/999999: status %d: %s", status, body)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v: %s", err, body)
+	}
+	if env.Error.Code != "not_found" {
+		t.Fatalf("error code = %q, want not_found (%s)", env.Error.Code, body)
+	}
+	if env.Error.Message == "" {
+		t.Fatal("error envelope has no message")
+	}
+}

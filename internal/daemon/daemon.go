@@ -66,13 +66,19 @@ type Config struct {
 	// degraded durability). Defaults to Logf.
 	Warnf func(format string, args ...any)
 	// SlowCycleWarn is the wall-clock duration in seconds past which a
-	// control cycle logs a warning and increments the slow-cycle
-	// counter. 0 selects the default of 0.8×CycleSeconds; negative
-	// disables the warning.
+	// control cycle logs a warning, increments the slow-cycle counter
+	// and arms the CPU-profile auto-capture. 0 selects the default of
+	// 0.8×CycleSeconds; negative disables the warning. A positive value
+	// at or above CycleSeconds is rejected: such a threshold could never
+	// fire before the next cycle is already due, so it silently disables
+	// the warning the operator thought they configured.
 	SlowCycleWarn float64
 	// TraceCycles is how many recent cycle span-timelines the tracer
 	// retains for GET /debug/cycles (default 64).
 	TraceCycles int
+	// ExplainHistory is how many per-cycle decision explanations the
+	// flight recorder retains for GET /v1/explain (default 128).
+	ExplainHistory int
 	// Store, when set, makes the daemon durable: every mutating API call
 	// and every applied cycle is journaled to the write-ahead log, and
 	// Recover replays it after a crash. The daemon takes ownership: a
@@ -149,6 +155,11 @@ type Daemon struct {
 	// history is the bounded per-cycle snapshot ring.
 	// dynplace:guardedby mu
 	history *metrics.Ring[CycleSnapshot]
+	// explain is the decision-provenance flight recorder: one record
+	// per cycle, bounded, served on GET /v1/explain and folded into the
+	// debug bundle.
+	// dynplace:guardedby mu
+	explain *metrics.Ring[ExplainRecord]
 	// running reports whether the tick chain is live.
 	// dynplace:guardedby mu
 	running bool
@@ -225,12 +236,23 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.SlowCycleWarn == 0 {
 		cfg.SlowCycleWarn = 0.8 * cfg.CycleSeconds
 	}
+	if cfg.SlowCycleWarn >= cfg.CycleSeconds {
+		return nil, fmt.Errorf("%w: slow-cycle threshold %.3fs must be below the cycle length %.3fs (negative disables, 0 selects 80%% of the cycle)",
+			ErrDaemon, cfg.SlowCycleWarn, cfg.CycleSeconds)
+	}
 	if cfg.TraceCycles <= 0 {
 		cfg.TraceCycles = 64
+	}
+	if cfg.ExplainHistory <= 0 {
+		cfg.ExplainHistory = 128
 	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 64
 	}
+	// The flight recorder is always on: the explanation pass is one
+	// post-hoc sweep per cycle (never per candidate) and the obs-overhead
+	// gate covers its cost, so there is no flag to discover mid-incident.
+	cfg.Dynamic.Explain = true
 	planner, err := control.NewPlanner(cfg.Cluster, cfg.Costs, cfg.Dynamic)
 	if err != nil {
 		return nil, err
@@ -245,6 +267,7 @@ func New(cfg Config) (*Daemon, error) {
 		loadSchedules: make(map[string][]dynplace.LoadPhase),
 		actions:       metrics.NewCounter(),
 		history:       metrics.NewRing[CycleSnapshot](cfg.History),
+		explain:       metrics.NewRing[ExplainRecord](cfg.ExplainHistory),
 	}
 	d.setClock(cfg.Clock)
 	d.recovered.Store(cfg.Store == nil)
@@ -263,6 +286,10 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	d.obs = d.newObsState(zones, cfg.TraceCycles)
 	d.obs.slowCycleSeconds = cfg.SlowCycleWarn
+	if cfg.SlowCycleWarn > 0 {
+		cfg.Logf("slow-cycle threshold: %.3fs (cycle %.3fs); slow cycles auto-capture a CPU profile",
+			cfg.SlowCycleWarn, cfg.CycleSeconds)
+	}
 	return d, nil
 }
 
@@ -982,6 +1009,9 @@ func (d *Daemon) runCycle(now float64) {
 	// d.cycles only advances under d.mu, so Load()+1 here equals the
 	// Add(1) below.
 	trace := d.obs.tracer.Begin(d.cycles.Load()+1, now)
+	// When the previous cycle armed the auto-capture, this whole cycle
+	// runs under the CPU profiler; stopProfile retains the result.
+	stopProfile := d.beginSlowCycleProfile()
 	endDemand := trace.Span("demand_update")
 	d.applyLoadSchedules(now)
 	for _, j := range d.jobs {
@@ -1051,6 +1081,10 @@ func (d *Daemon) runCycle(now float64) {
 		endJournal := trace.Span("journal")
 		d.journalCycleLocked(cycle, now, live, retired, err)
 		endJournal()
+		// The flight recorder keeps failed cycles too: a denied-everything
+		// incident reads as a run of error records, not a gap.
+		d.explain.Push(ExplainRecord{Cycle: cycle, Time: now, Err: err.Error()})
+		stopProfile(cycle, now)
 		d.recordCycleObs(d.obs.tracer.Finish(trace, err.Error()), true)
 		return
 	}
@@ -1158,6 +1192,8 @@ func (d *Daemon) runCycle(now float64) {
 			d.cfg.Logf("cycle %d: snapshot failed: %v", cycle, err)
 		}
 	}
+	d.recordExplanation(cycle, now, plan.Explanation)
+	stopProfile(cycle, now)
 	d.recordCycleObs(d.obs.tracer.Finish(trace, ""), false)
 }
 

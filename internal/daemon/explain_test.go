@@ -1,0 +1,260 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dynplace"
+	"dynplace/internal/cluster"
+	"dynplace/internal/control"
+	"dynplace/internal/core"
+)
+
+// newExplainDaemon builds the flight-recorder acceptance cluster:
+// node-0 (3000 MHz, 4096 MB) and node-1 (1000 MHz, 4096 MB). node-2 is
+// added mid-test over the API.
+func newExplainDaemon(t *testing.T) (*Daemon, *SimClock, *httptest.Server) {
+	t.Helper()
+	cl, err := cluster.Parse("1x3000/4096,1x1000/4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewSimClock()
+	d, err := New(Config{
+		Cluster:      cl,
+		CycleSeconds: 60,
+		Costs:        cluster.FreeCostModel(),
+		Clock:        clock,
+		History:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(d.Stop)
+	return d, clock, srv
+}
+
+func getExplain(t *testing.T, url string) ExplainRecord {
+	t.Helper()
+	status, body := do(t, http.MethodGet, url+"/v1/explain", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/explain: status %d: %s", status, body)
+	}
+	var rec ExplainRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatalf("GET /v1/explain: %v", err)
+	}
+	return rec
+}
+
+func appExplanation(t *testing.T, rec ExplainRecord, name string) control.AppExplanation {
+	t.Helper()
+	if rec.Explanation == nil {
+		t.Fatalf("cycle %d record has no explanation (err %q)", rec.Cycle, rec.Err)
+	}
+	for _, ae := range rec.Explanation.Apps {
+		if ae.App == name {
+			return ae
+		}
+	}
+	t.Fatalf("app %q missing from cycle %d explanation: %+v",
+		name, rec.Cycle, rec.Explanation.Apps)
+	return control.AppExplanation{}
+}
+
+func wantReason(t *testing.T, ae control.AppExplanation, substr string) {
+	t.Helper()
+	for _, r := range ae.Reasons {
+		if strings.Contains(r, substr) {
+			return
+		}
+	}
+	t.Errorf("app %s: no reason containing %q in %v", ae.App, substr, ae.Reasons)
+}
+
+// TestExplainFlightRecorder is the provenance pipeline's acceptance
+// scenario, deterministic under SimClock:
+//
+//   - Cycle at t=60: web app front (anti-collocated with job etl,
+//     3000 MB) takes node-0, etl takes the slow node-1, and the 8192 MB
+//     job hog fits nowhere — a memory-bound denial.
+//   - node-2 (3000 MHz but only 2048 MB — too small for front) joins
+//     over the API.
+//   - Cycle at t=120: the optimizer migrates etl to the fast empty
+//     node-2 and expands front onto the vacated node-1. etl can no
+//     longer return: its old node now hosts its declared conflictor —
+//     an anti-collocation-bound move.
+//
+// GET /v1/explain must report the binding constraint and reason chain
+// for both, GET /v1/explain/apps/etl the per-app history, and the
+// explain metric families must reflect the recorded outcomes.
+func TestExplainFlightRecorder(t *testing.T) {
+	d, clock, srv := newExplainDaemon(t)
+
+	// Before any cycle has been recorded the endpoint 404s.
+	status, body := do(t, http.MethodGet, srv.URL+"/v1/explain", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /v1/explain before start: status %d: %s", status, body)
+	}
+
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/apps", AddAppRequest{
+		App: dynplace.WebAppSpec{
+			Name: "front", ArrivalRate: 50, DemandPerRequest: 50,
+			BaseLatency: 0.02, GoalResponseTime: 0.1,
+			MaxPowerMHz: 6000, MemoryMB: 3000,
+			AntiCollocate: []string{"etl"},
+		},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/apps: status %d: %s", status, body)
+	}
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/jobs", SubmitJobRequest{
+		Job: dynplace.JobSpec{
+			Name: "etl", WorkMcycles: 2e6, MaxSpeedMHz: 3000,
+			MemoryMB: 1000, Deadline: 4000,
+		},
+		Relative: true,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs etl: status %d: %s", status, body)
+	}
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/jobs", SubmitJobRequest{
+		Job: dynplace.JobSpec{
+			Name: "hog", WorkMcycles: 1e6, MaxSpeedMHz: 3000,
+			MemoryMB: 8192, Deadline: 4000,
+		},
+		Relative: true,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs hog: status %d: %s", status, body)
+	}
+
+	clock.Advance(60)
+	rec := getExplain(t, srv.URL)
+
+	// Start's immediate cycle already placed the workload, so by t=60
+	// etl is either freshly placed or kept — but pinned to the slow node.
+	etl := appExplanation(t, rec, "etl")
+	if etl.Outcome != core.OutcomePlaced && etl.Outcome != core.OutcomeKept {
+		t.Fatalf("cycle %d: etl outcome = %q, want placed or kept (%+v)",
+			rec.Cycle, etl.Outcome, etl)
+	}
+	if len(etl.Nodes) != 1 || etl.Nodes[0] != "node-1" {
+		t.Fatalf("etl nodes = %v, want [node-1]", etl.Nodes)
+	}
+	hog := appExplanation(t, rec, "hog")
+	if hog.Outcome != core.OutcomeDenied || hog.Binding != core.BindMemory {
+		t.Fatalf("hog = %s/%s, want denied/memory (%+v)", hog.Outcome, hog.Binding, hog)
+	}
+	wantReason(t, hog, "8192 MB")
+	wantReason(t, hog, "binding constraint: memory")
+	front := appExplanation(t, rec, "front")
+	if front.Outcome != core.OutcomePlaced && front.Outcome != core.OutcomeKept {
+		t.Fatalf("front outcome = %q, want placed or kept", front.Outcome)
+	}
+	if rec.Explanation.Counts[core.OutcomeDenied] != 1 {
+		t.Fatalf("counts = %v, want one denial", rec.Explanation.Counts)
+	}
+
+	// node-2: fast, but too little memory for front — only etl benefits.
+	status, body = do(t, http.MethodPost, srv.URL+"/v1/nodes",
+		AddNodeRequest{Name: "node-2", CPUMHz: 3000, MemMB: 2048})
+	if status != http.StatusCreated {
+		t.Fatalf("POST /v1/nodes: status %d: %s", status, body)
+	}
+
+	clock.Advance(60)
+	rec = getExplain(t, srv.URL)
+
+	etl = appExplanation(t, rec, "etl")
+	if etl.Outcome != core.OutcomeMoved || etl.Binding != core.BindAntiCollocation {
+		t.Fatalf("etl = %s/%s, want moved/anti_collocation (%+v)",
+			etl.Outcome, etl.Binding, etl)
+	}
+	if len(etl.Nodes) != 1 || etl.Nodes[0] != "node-2" {
+		t.Fatalf("etl nodes = %v, want [node-2]", etl.Nodes)
+	}
+	wantReason(t, etl, "moved node-1 -> node-2")
+	wantReason(t, etl, `would collocate with "front"`)
+	wantReason(t, etl, "binding constraint: anti_collocation")
+	front = appExplanation(t, rec, "front")
+	if front.Outcome != core.OutcomeExpanded {
+		t.Fatalf("front outcome = %q, want expanded (%+v)", front.Outcome, front)
+	}
+	hog = appExplanation(t, rec, "hog")
+	if hog.Outcome != core.OutcomeDenied || hog.Binding != core.BindMemory {
+		t.Fatalf("hog = %s/%s, want denied/memory", hog.Outcome, hog.Binding)
+	}
+
+	// Per-app history: etl's trajectory placed -> moved.
+	status, body = do(t, http.MethodGet, srv.URL+"/v1/explain/apps/etl", nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/explain/apps/etl: status %d: %s", status, body)
+	}
+	var hist struct {
+		App     string            `json:"app"`
+		History []AppExplainEntry `json:"history"`
+	}
+	if err := json.Unmarshal(body, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.History) < 2 {
+		t.Fatalf("etl history = %+v, want >= 2 cycles", hist.History)
+	}
+	first, last := hist.History[0], hist.History[len(hist.History)-1]
+	if first.Outcome != core.OutcomePlaced || last.Outcome != core.OutcomeMoved {
+		t.Fatalf("etl trajectory %q -> %q, want placed -> moved",
+			first.Outcome, last.Outcome)
+	}
+	if last.Cycle <= first.Cycle {
+		t.Fatalf("history cycles not ascending: %d then %d", first.Cycle, last.Cycle)
+	}
+
+	// Unknown application: the uniform not_found envelope.
+	status, body = do(t, http.MethodGet, srv.URL+"/v1/explain/apps/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /v1/explain/apps/ghost: status %d: %s", status, body)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "not_found" {
+		t.Fatalf("error code = %q, want not_found: %s", env.Error.Code, body)
+	}
+
+	// The explain metric families carry the recorded outcomes, and the
+	// build-info gauge rides along.
+	exp := scrapeProm(t, srv.URL)
+	if v := mustValue(t, exp, "dynplace_explain_decisions_total", "outcome", "denied"); v < 2 {
+		t.Errorf("explain_decisions_total{outcome=denied} = %v, want >= 2", v)
+	}
+	if v := mustValue(t, exp, "dynplace_explain_denials_total", "binding", "memory"); v < 2 {
+		t.Errorf("explain_denials_total{binding=memory} = %v, want >= 2", v)
+	}
+	if v := mustValue(t, exp, "dynplace_explain_decisions_total", "outcome", "moved"); v < 1 {
+		t.Errorf("explain_decisions_total{outcome=moved} = %v, want >= 1", v)
+	}
+	if v := mustValue(t, exp, "dynplace_explain_records"); v < 2 {
+		t.Errorf("dynplace_explain_records = %v, want >= 2", v)
+	}
+	if v := mustValue(t, exp, "dynplace_build_info",
+		"version", BuildVersion(), "go_version", runtime.Version()); v != 1 {
+		t.Errorf("dynplace_build_info = %v, want 1", v)
+	}
+}

@@ -2,10 +2,12 @@ package daemon
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
+	"dynplace/internal/core"
 	"dynplace/internal/forecast"
 	"dynplace/internal/obs"
 	"dynplace/internal/router"
@@ -27,6 +29,7 @@ var cycleSpanNames = []string{
 	"shard_rebalance",
 	"merge_verify",
 	"extract",
+	"explain",
 	"apply",
 	"publish",
 	"journal",
@@ -49,6 +52,14 @@ type obsState struct {
 	cycleErrors *obs.Counter
 	slowCycles  *obs.Counter
 
+	// explainOutcomes and explainDenials are the flight recorder's
+	// counter families, pre-registered over the closed core.Outcomes
+	// and core.Bindings sets so runCycle increments without touching a
+	// registry lock.
+	explainOutcomes map[string]*obs.Counter
+	explainDenials  map[string]*obs.Counter
+	slowCaptures    *obs.Counter
+
 	walAppend *obs.Histogram
 	walFsync  *obs.Histogram
 	snapWrite *obs.Histogram
@@ -56,6 +67,14 @@ type obsState struct {
 	// slowCycleSeconds is the wall-clock duration past which a cycle
 	// logs a warning (<= 0 disables).
 	slowCycleSeconds float64
+
+	// profileArmed and lastProfile implement slow-cycle CPU profile
+	// auto-capture: a slow cycle arms the profiler, the next cycle runs
+	// under it, and the resulting profile is retained for the debug
+	// bundle. Both are mutated only from runCycle/recordCycleObs, which
+	// run under d.mu.
+	profileArmed bool
+	lastProfile  *capturedProfile
 }
 
 // Latency bucket layouts, all in seconds.
@@ -103,6 +122,34 @@ func (d *Daemon) newObsState(shards int, traceCycles int) *obsState {
 		"Control cycles whose planning failed.")
 	o.slowCycles = reg.Counter("dynplace_slow_cycles_total",
 		"Control cycles slower than the slow-cycle warning threshold.")
+	o.slowCaptures = reg.Counter("dynplace_slow_cycle_captures_total",
+		"CPU profiles captured by the slow-cycle auto-capture.")
+
+	// --- decision-provenance flight recorder ---
+	o.explainOutcomes = make(map[string]*obs.Counter, len(core.Outcomes))
+	for _, outcome := range core.Outcomes {
+		o.explainOutcomes[outcome] = reg.Counter("dynplace_explain_decisions_total",
+			"Per-application placement decisions explained, by outcome.",
+			"outcome", outcome)
+	}
+	o.explainDenials = make(map[string]*obs.Counter, len(core.Bindings))
+	for _, binding := range core.Bindings {
+		o.explainDenials[binding] = reg.Counter("dynplace_explain_denials_total",
+			"Denied applications explained, by binding constraint.",
+			"binding", binding)
+	}
+	reg.GaugeFunc("dynplace_explain_records",
+		"Cycle explanations retained in the flight recorder.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.explain.Len())
+		})
+
+	// --- build identity ---
+	reg.Gauge("dynplace_build_info",
+		"Constant 1; the build version and Go runtime ride as labels.",
+		"version", BuildVersion(), "go_version", runtime.Version()).Set(1)
 	reg.CounterFunc("dynplace_cycles_total",
 		"Control cycles run (lifetime, across restarts).",
 		func() float64 { return float64(d.cycles.Load()) })
@@ -368,7 +415,13 @@ func (d *Daemon) recordCycleObs(view obs.TraceView, failed bool) {
 	}
 	if o.slowCycleSeconds > 0 && seconds > o.slowCycleSeconds {
 		o.slowCycles.Inc()
-		d.cfg.Warnf("cycle %d: slow cycle: %.3fs (threshold %.3fs)",
+		// Arm the profiler instead of only logging: the next cycle runs
+		// under CPU profiling and the capture lands in the debug bundle,
+		// so a slow cycle no longer has to be reproduced by hand with
+		// pprof attached. A slow streak keeps re-arming, which keeps the
+		// retained profile tracking the most recent slow cycle.
+		o.profileArmed = true
+		d.cfg.Warnf("cycle %d: slow cycle: %.3fs (threshold %.3fs); capturing a CPU profile of the next cycle",
 			view.Cycle, seconds, o.slowCycleSeconds)
 	}
 }

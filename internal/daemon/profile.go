@@ -1,0 +1,66 @@
+package daemon
+
+import (
+	"bytes"
+	"runtime/pprof"
+)
+
+// capturedProfile is the retained slow-cycle CPU profile: the raw pprof
+// bytes plus the cycle they describe. Served inside the debug bundle as
+// slow_cycle.pprof.
+type capturedProfile struct {
+	// Cycle and Time identify the profiled cycle.
+	Cycle int64   `json:"cycle"`
+	Time  float64 `json:"time"`
+	// Bytes is the profile size; the data itself is binary and rides
+	// only in the bundle, never in JSON.
+	Bytes int    `json:"bytes"`
+	Data  []byte `json:"-"`
+}
+
+// beginSlowCycleProfile starts the armed CPU-profile capture, if any,
+// and returns the function that finishes it. The returned closure must
+// be called exactly once, at the end of the same cycle, with the
+// cycle's ordinal and timestamp; when no capture is armed (or the
+// profiler could not start) it is a no-op.
+//
+// The Go CPU profiler is process-global and single-owner: when a
+// concurrent pprof session (e.g. via -pprof-addr) holds it, StartCPUProfile
+// fails. The capture stays armed and retries next cycle rather than
+// silently dropping the incident evidence.
+//
+// dynplace:holds d.mu
+func (d *Daemon) beginSlowCycleProfile() func(cycle int64, now float64) {
+	o := d.obs
+	if o == nil || !o.profileArmed {
+		return func(int64, float64) {}
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		d.cfg.Warnf("slow-cycle profile: cannot start CPU profiler (%v); will retry next cycle", err)
+		return func(int64, float64) {}
+	}
+	return func(cycle int64, now float64) {
+		pprof.StopCPUProfile()
+		o.lastProfile = &capturedProfile{
+			Cycle: cycle,
+			Time:  now,
+			Bytes: buf.Len(),
+			Data:  append([]byte(nil), buf.Bytes()...),
+		}
+		// Disarm: a still-slow cycle re-arms in recordCycleObs, which
+		// runs right after this closure, so a slow streak keeps the
+		// retained profile current without profiling healthy cycles.
+		o.profileArmed = false
+		o.slowCaptures.Inc()
+		d.cfg.Logf("cycle %d: slow-cycle CPU profile captured (%d bytes); GET /v1/debug/bundle to retrieve it",
+			cycle, buf.Len())
+	}
+}
+
+// slowProfile returns the retained slow-cycle capture, or nil.
+func (d *Daemon) slowProfile() *capturedProfile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.obs.lastProfile
+}

@@ -1,0 +1,26 @@
+package daemon
+
+import "runtime/debug"
+
+// Version is the build version stamped by the linker:
+//
+//	go build -ldflags "-X dynplace/internal/daemon.Version=v1.2.3"
+//
+// Empty falls back to the module version from the embedded build info.
+var Version string
+
+// BuildVersion resolves the version string exposed by the
+// dynplace_build_info metric and the dynplaced -version flag: the
+// linker-stamped Version when set, else the module build-info version,
+// else "devel".
+func BuildVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "devel"
+}

@@ -13,9 +13,9 @@ func TestRunObsOverheadSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if row.BareCycle <= 0 || row.InstrumentedCycle <= 0 {
-		t.Fatalf("cycle timings not positive: bare=%v instrumented=%v",
-			row.BareCycle, row.InstrumentedCycle)
+	if row.BareCycle <= 0 || row.InstrumentedCycle <= 0 || row.ExplainCycle <= 0 {
+		t.Fatalf("cycle timings not positive: bare=%v instrumented=%v explain=%v",
+			row.BareCycle, row.InstrumentedCycle, row.ExplainCycle)
 	}
 	if row.DispatchBareNs <= 0 || row.DispatchInstrumentedNs <= 0 {
 		t.Fatalf("dispatch timings not positive: bare=%v instrumented=%v",
@@ -27,6 +27,9 @@ func TestRunObsOverheadSmall(t *testing.T) {
 	table := ObsOverheadTable(row)
 	if !strings.Contains(table, "dispatch-instr") {
 		t.Errorf("table missing dispatch column:\n%s", table)
+	}
+	if !strings.Contains(table, "explain-ovh") {
+		t.Errorf("table missing explain column:\n%s", table)
 	}
 	if err := WriteBenchJSON(t.TempDir(), "obs_overhead", row); err != nil {
 		t.Fatal(err)

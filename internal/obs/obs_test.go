@@ -269,6 +269,54 @@ func TestTracer(t *testing.T) {
 	}
 }
 
+// TestTracerRingWraparound drives the trace ring through several full
+// wraps: Recent must always return exactly the last `capacity` cycles
+// oldest-first, Cycle must miss everything evicted and hit everything
+// retained, and a recorded error must survive the wrap with its cycle.
+func TestTracerRingWraparound(t *testing.T) {
+	const capacity, cycles = 4, 11
+	tr := NewTracer(capacity)
+	for cycle := int64(1); cycle <= cycles; cycle++ {
+		ct := tr.Begin(cycle, float64(cycle))
+		ct.Span("solve")()
+		errMsg := ""
+		if cycle == 9 {
+			errMsg = "solver exploded"
+		}
+		tr.Finish(ct, errMsg)
+
+		recent := tr.Recent()
+		want := int(cycle)
+		if want > capacity {
+			want = capacity
+		}
+		if len(recent) != want {
+			t.Fatalf("after cycle %d: len(Recent) = %d, want %d", cycle, len(recent), want)
+		}
+		for i, v := range recent {
+			if exp := cycle - int64(len(recent)) + 1 + int64(i); v.Cycle != exp {
+				t.Fatalf("after cycle %d: Recent[%d].Cycle = %d, want %d",
+					cycle, i, v.Cycle, exp)
+			}
+		}
+	}
+	for cycle := int64(1); cycle <= cycles-capacity; cycle++ {
+		if _, ok := tr.Cycle(cycle); ok {
+			t.Fatalf("cycle %d survived %d wraps of a capacity-%d ring",
+				cycle, cycles/capacity, capacity)
+		}
+	}
+	for cycle := int64(cycles - capacity + 1); cycle <= cycles; cycle++ {
+		v, ok := tr.Cycle(cycle)
+		if !ok || v.Cycle != cycle || v.Time != float64(cycle) {
+			t.Fatalf("retained cycle %d = %+v, %v", cycle, v, ok)
+		}
+	}
+	if v, ok := tr.Cycle(9); !ok || v.Err != "solver exploded" {
+		t.Fatalf("cycle 9 error lost across the wrap: %+v, %v", v, ok)
+	}
+}
+
 // BenchmarkObsHotPath pins the uncontended cost of the instruments on
 // the router's dispatch path: a counter increment plus a histogram
 // observation should stay in the tens of nanoseconds.

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"dynplace/internal/batch"
+	"dynplace/internal/cluster"
+	"dynplace/internal/core"
+)
+
+// TestMoveTriggers drives the three rebalancer decisions that stamp
+// zone-move provenance on one problem: placed jobs crowded into zone 0
+// shed via overload relief, queued jobs get first-touch assignments,
+// and a re-solve with the apps already seen records neither again.
+func TestMoveTriggers(t *testing.T) {
+	cl, err := cluster.Uniform(8, 3900, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const placedJobs, queuedJobs = 24, 3
+	var apps []*core.Application
+	current := core.NewPlacement(placedJobs + queuedJobs)
+	for j := 0; j < placedJobs; j++ {
+		spec := batch.SingleStage(fmt.Sprintf("job-%d", j), 3.9e6, 3900, 4000, 0, 2000)
+		apps = append(apps, &core.Application{
+			Name: spec.Name, Kind: core.KindBatch, Job: spec, Started: true,
+		})
+		current.Add(j, cluster.NodeID(j%4)) // all in zone 0 (nodes 0..3)
+	}
+	for q := 0; q < queuedJobs; q++ {
+		spec := batch.SingleStage(fmt.Sprintf("queued-%d", q), 3.9e6, 3900, 4000, 0, 2000)
+		apps = append(apps, &core.Application{
+			Name: spec.Name, Kind: core.KindBatch, Job: spec,
+		})
+	}
+	p := &core.Problem{
+		Cluster: cl, Now: 0, Cycle: 600, Apps: apps, Current: current,
+		Costs: cluster.FreeCostModel(), MaxPasses: 1,
+	}
+	c, err := New(Config{Count: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, res); err != nil {
+		t.Fatal(err)
+	}
+
+	moves := c.Moves()
+	byTrigger := map[string][]Move{}
+	for _, m := range moves {
+		if m.App == "" || m.To < 0 || m.To > 1 {
+			t.Fatalf("malformed move %+v", m)
+		}
+		byTrigger[m.Trigger] = append(byTrigger[m.Trigger], m)
+	}
+	if got := len(byTrigger[TriggerFirstTouch]); got != queuedJobs {
+		t.Fatalf("first_touch moves = %d (%+v), want one per queued job (%d)",
+			got, byTrigger[TriggerFirstTouch], queuedJobs)
+	}
+	for _, m := range byTrigger[TriggerFirstTouch] {
+		if m.From != -1 {
+			t.Errorf("first_touch move %+v has a source zone, want -1", m)
+		}
+	}
+	if len(byTrigger[TriggerOverloadRelief]) == 0 {
+		t.Fatalf("no overload_relief moves off the crowded zone: %+v", moves)
+	}
+	for _, m := range byTrigger[TriggerOverloadRelief] {
+		if m.From != 0 || m.To != 1 {
+			t.Errorf("relief move %+v, want 0 -> 1", m)
+		}
+	}
+
+	// Moves() must return a copy, not a view of coordinator state.
+	moves[0].Trigger = "clobbered"
+	if c.Moves()[0].Trigger == "clobbered" {
+		t.Fatal("Moves() aliases coordinator state")
+	}
+
+	// Re-solve from the adopted placement: everything has a recorded
+	// zone now, so no first-touch stamps can appear.
+	p.Current = res.Placement
+	if _, _, err := c.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.Moves() {
+		if m.Trigger == TriggerFirstTouch {
+			t.Fatalf("first_touch recorded for an already-seen app: %+v", m)
+		}
+	}
+}

@@ -92,6 +92,44 @@ type Stats struct {
 	ColdRestart bool `json:"coldRestart,omitempty"`
 }
 
+// Zone-move triggers: why the rebalancer assigned an application to a
+// zone other than the one it would have kept by default.
+const (
+	// TriggerFirstTouch: the application had no recorded zone; the
+	// seeded hash (or its last-run node) chose its first one.
+	TriggerFirstTouch = "first_touch"
+	// TriggerHeadroom: a queued application's remembered zone was worse
+	// than the best zone by more than the stickiness threshold, so it
+	// flowed to headroom.
+	TriggerHeadroom = "headroom"
+	// TriggerOverloadRelief: a zone past the overload ratio shed this
+	// placed application to the zone with the most headroom.
+	TriggerOverloadRelief = "overload_relief"
+	// TriggerRepartition: the node set changed, zone boundaries moved,
+	// and the application's instances now anchor it to a different zone
+	// than the one recorded last cycle.
+	TriggerRepartition = "repartition"
+)
+
+// Move records one zone-rebalance decision of a cycle: the application,
+// the zone it left (-1 on first touch), the zone it was assigned to,
+// and the trigger that caused the change. Unchanged assignments are not
+// recorded.
+type Move struct {
+	App     string `json:"app"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Trigger string `json:"trigger"`
+}
+
+// Moves returns the zone-move records of the most recent Solve, in the
+// deterministic order the rebalancer produced them.
+func (c *Coordinator) Moves() []Move {
+	out := make([]Move, len(c.lastMoves))
+	copy(out, c.lastMoves)
+	return out
+}
+
 // Coordinator is the sharded placement solver. It persists the
 // application→zone assignment and the previous cycle's per-zone stats
 // between Solve calls; drivers hold one coordinator for the lifetime of
@@ -116,6 +154,9 @@ type Coordinator struct {
 	// lastTimings is the most recent Solve's phase timing breakdown,
 	// retained for the cycle tracer.
 	lastTimings Timings
+	// lastMoves is the most recent Solve's zone-move provenance (see
+	// Move), retained for the planner's cycle explanation.
+	lastMoves []Move
 }
 
 // Timings is the wall-clock phase breakdown of one Solve call,

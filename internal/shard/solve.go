@@ -103,6 +103,7 @@ func (c *Coordinator) Solve(p *core.Problem) (*core.Result, []Stats, error) {
 	timings.Merge = time.Since(mergeBegin) //dynplace:ignore clockhygiene telemetry only
 	c.prev = stats
 	c.lastTimings = timings
+	c.lastMoves = st.moves
 	return merged, stats, nil
 }
 
@@ -136,6 +137,9 @@ type cycleState struct {
 	// capacity fraction — the persistent-imbalance signal.
 	pressure []float64
 	movesIn  []int
+	// moves is the cycle's zone-move provenance: one stamped record per
+	// assignment that changed (or was made for the first time).
+	moves []Move
 }
 
 // ratio returns the zone's committed-load ratio: the binding of CPU and
@@ -207,9 +211,17 @@ func (c *Coordinator) rebalance(p *core.Problem, lay layout) *cycleState {
 		st.anchor[i] = anchorZone(p, lay, i)
 	}
 
-	// Pass 1: placed applications stay with their instances.
+	// Pass 1: placed applications stay with their instances. When the
+	// node set changed, zone boundaries moved under those instances, so
+	// an anchor disagreeing with the recorded assignment is a
+	// repartition move, not a rebalancing decision.
 	for i := range p.Apps {
 		if s := st.anchor[i]; s >= 0 && zoneAllowed(p.Apps[i], lay, s) {
+			if prev, seen := c.assign[p.Apps[i].Name]; seen && prev != s {
+				st.moves = append(st.moves, Move{
+					App: p.Apps[i].Name, From: prev, To: s, Trigger: TriggerRepartition,
+				})
+			}
 			st.commit(s, i)
 		}
 	}
@@ -227,11 +239,20 @@ func (c *Coordinator) rebalance(p *core.Problem, lay layout) *cycleState {
 				best = s
 			}
 		}
+		_, seen := c.assign[a.Name]
 		if st.ratioWith(cand, i) > st.ratioWith(best, i)+stickiness {
-			if _, seen := c.assign[a.Name]; seen {
+			if seen {
 				st.movesIn[best]++
+				st.moves = append(st.moves, Move{
+					App: a.Name, From: cand, To: best, Trigger: TriggerHeadroom,
+				})
 			}
 			cand = best
+		}
+		if !seen {
+			st.moves = append(st.moves, Move{
+				App: a.Name, From: -1, To: cand, Trigger: TriggerFirstTouch,
+			})
 		}
 		st.commit(cand, i)
 	}
@@ -272,6 +293,9 @@ func (c *Coordinator) rebalance(p *core.Problem, lay layout) *cycleState {
 		st.uncommit(src, i)
 		st.commit(dst, i)
 		st.movesIn[dst]++
+		st.moves = append(st.moves, Move{
+			App: p.Apps[i].Name, From: src, To: dst, Trigger: TriggerOverloadRelief,
+		})
 	}
 	return st
 }
